@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the FUSE hardware components:
+ * counting-Bloom-filter operations, the associativity-approximation
+ * search, the read-level predictor, tag arrays, and the MSHR. These are
+ * host-side throughput numbers for the simulator's models (useful when
+ * extending the simulator), not simulated-hardware latencies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/bloom.hh"
+#include "cache/mshr.hh"
+#include "cache/tag_array.hh"
+#include "common/rng.hh"
+#include "fuse/assoc_approx.hh"
+#include "fuse/predictor.hh"
+
+namespace
+{
+
+void
+BM_CbfTest(benchmark::State &state)
+{
+    fuse::CountingBloomFilter cbf(
+        static_cast<std::uint32_t>(state.range(0)), 3);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        cbf.insert(k * 977);
+    fuse::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cbf.test(rng.next()));
+}
+BENCHMARK(BM_CbfTest)->Arg(16)->Arg(32)->Arg(128);
+
+void
+BM_CbfInsertRemove(benchmark::State &state)
+{
+    fuse::CountingBloomFilter cbf(16, 3);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        cbf.insert(key);
+        cbf.remove(key);
+        ++key;
+    }
+}
+BENCHMARK(BM_CbfInsertRemove);
+
+void
+BM_AssocApproxSearch(benchmark::State &state)
+{
+    fuse::AssocApproxConfig config;
+    fuse::AssocApprox approx(config, 512);
+    for (fuse::Addr line = 0; line < 512; ++line)
+        approx.insert(line * 16);
+    fuse::Rng rng(2);
+    for (auto _ : state) {
+        fuse::Addr line = rng.below(1024) * 16;
+        benchmark::DoNotOptimize(approx.search(line, line < 512 * 16));
+    }
+}
+BENCHMARK(BM_AssocApproxSearch);
+
+void
+BM_PredictorObserve(benchmark::State &state)
+{
+    fuse::ReadLevelPredictor pred(fuse::PredictorConfig{});
+    fuse::Rng rng(3);
+    fuse::MemRequest req;
+    for (auto _ : state) {
+        req.addr = rng.below(1 << 20) << fuse::kLineShift;
+        req.pc = 0x1000 + (rng.next() & 0x3c);
+        req.warpId = 0;
+        pred.observe(req);
+    }
+}
+BENCHMARK(BM_PredictorObserve);
+
+void
+BM_PredictorClassify(benchmark::State &state)
+{
+    fuse::ReadLevelPredictor pred(fuse::PredictorConfig{});
+    fuse::Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pred.classify(0x1000 + (rng.next() & 0xfc)));
+}
+BENCHMARK(BM_PredictorClassify);
+
+void
+BM_TagArrayProbe(benchmark::State &state)
+{
+    fuse::TagArray tags(64, 4, fuse::ReplPolicy::LRU);
+    for (fuse::Addr a = 0; a < 256; ++a)
+        tags.fill(a, a);
+    fuse::Rng rng(5);
+    fuse::Cycle t = 256;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tags.probe(rng.below(512), ++t));
+}
+BENCHMARK(BM_TagArrayProbe);
+
+void
+BM_FullyAssocProbe(benchmark::State &state)
+{
+    fuse::TagArray tags(1, 512, fuse::ReplPolicy::FIFO);
+    for (fuse::Addr a = 0; a < 512; ++a)
+        tags.fill(a, a);
+    fuse::Rng rng(6);
+    fuse::Cycle t = 512;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tags.probe(rng.below(1024), ++t));
+}
+BENCHMARK(BM_FullyAssocProbe);
+
+void
+BM_MshrAccessRetire(benchmark::State &state)
+{
+    fuse::Mshr mshr(32);
+    fuse::Rng rng(7);
+    fuse::Cycle t = 0;
+    for (auto _ : state) {
+        ++t;
+        mshr.access(rng.below(64), t + 400, fuse::BankId::Sram);
+        mshr.retireReady(t);
+    }
+}
+BENCHMARK(BM_MshrAccessRetire);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: simulate one benchmark on the SRAM baseline and on Dy-FUSE,
+ * and print the headline comparison — the 60-second tour of the API.
+ *
+ * Usage: quickstart [benchmark] (default: ATAX)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "ATAX";
+
+    // 1. Pick a machine configuration (the paper's Table I setup).
+    fuse::Simulator sim(fuse::SimConfig::fermi());
+
+    // 2. Run the same workload on two L1D organisations.
+    fuse::Metrics base = sim.run(benchmark, fuse::L1DKind::L1Sram);
+    fuse::Metrics dy = sim.run(benchmark, fuse::L1DKind::DyFuse);
+
+    // 3. Compare.
+    fuse::Report report("quickstart: " + benchmark
+                        + " — L1-SRAM vs Dy-FUSE");
+    report.header({"metric", "L1-SRAM", "Dy-FUSE", "change"});
+    report.row({"IPC (per SM)", fuse::fmt(base.ipc, 3),
+                fuse::fmt(dy.ipc, 3),
+                fuse::fmt(dy.ipc / base.ipc, 2) + "x"});
+    report.row({"L1D miss rate", fuse::fmt(base.l1dMissRate, 3),
+                fuse::fmt(dy.l1dMissRate, 3),
+                fuse::fmt(100.0 * (dy.l1dMissRate - base.l1dMissRate)
+                          / (base.l1dMissRate > 0 ? base.l1dMissRate : 1),
+                          1) + "%"});
+    report.row({"off-chip requests",
+                std::to_string(base.offchipRequests),
+                std::to_string(dy.offchipRequests),
+                fuse::fmt(100.0
+                          * (double(dy.offchipRequests)
+                             - double(base.offchipRequests))
+                          / double(base.offchipRequests ? base.offchipRequests
+                                                        : 1), 1) + "%"});
+    report.row({"L1D energy (uJ)",
+                fuse::fmt(base.energy.l1dTotal() / 1000.0, 1),
+                fuse::fmt(dy.energy.l1dTotal() / 1000.0, 1),
+                fuse::fmt(dy.energy.l1dTotal()
+                          / (base.energy.l1dTotal() > 0
+                             ? base.energy.l1dTotal() : 1), 2) + "x"});
+    report.row({"total energy (uJ)",
+                fuse::fmt(base.energy.total() / 1000.0, 1),
+                fuse::fmt(dy.energy.total() / 1000.0, 1),
+                fuse::fmt(dy.energy.total()
+                          / (base.energy.total() > 0
+                             ? base.energy.total() : 1), 2) + "x"});
+    report.row({"cycles", std::to_string(base.cycles),
+                std::to_string(dy.cycles),
+                fuse::fmt(double(base.cycles)
+                          / double(dy.cycles ? dy.cycles : 1), 2)
+                    + "x faster"});
+    report.print();
+
+    std::printf("\nDy-FUSE predictor accuracy: %.1f%% true / %.1f%% "
+                "neutral / %.1f%% false\n",
+                100.0 * dy.predTrue, 100.0 * dy.predNeutral,
+                100.0 * dy.predFalse);
+    return 0;
+}

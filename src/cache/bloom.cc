@@ -1,0 +1,90 @@
+#include "cache/bloom.hh"
+
+#include "common/log.hh"
+
+namespace fuse
+{
+
+namespace
+{
+/** Strong 64-bit mixer (SplitMix64 finaliser) salted per hash function. */
+std::uint64_t
+mix(std::uint64_t key, std::uint64_t salt)
+{
+    std::uint64_t z = key + salt * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+} // namespace
+
+CountingBloomFilter::CountingBloomFilter(std::uint32_t num_slots,
+                                         std::uint32_t num_hashes,
+                                         std::uint32_t counter_bits)
+    : numSlots_(num_slots),
+      numHashes_(num_hashes),
+      counterMax_(static_cast<std::uint8_t>((1u << counter_bits) - 1)),
+      counters_(num_slots, 0)
+{
+    if (num_slots == 0 || num_hashes == 0)
+        fuse_fatal("CBF needs nonzero slots (%u) and hashes (%u)",
+                   num_slots, num_hashes);
+    if (counter_bits == 0 || counter_bits > 8)
+        fuse_fatal("CBF counter width %u out of range [1,8]", counter_bits);
+}
+
+std::uint32_t
+CountingBloomFilter::slotOf(std::uint64_t key, std::uint32_t hash_id) const
+{
+    return static_cast<std::uint32_t>(mix(key, hash_id + 1) % numSlots_);
+}
+
+void
+CountingBloomFilter::insert(std::uint64_t key)
+{
+    for (std::uint32_t h = 0; h < numHashes_; ++h) {
+        auto &c = counters_[slotOf(key, h)];
+        if (c == counterMax_) {
+            // Saturate: never lose membership information; accept that the
+            // counter can no longer be decremented precisely.
+            ++saturations_;
+        } else {
+            ++c;
+        }
+    }
+}
+
+void
+CountingBloomFilter::remove(std::uint64_t key)
+{
+    for (std::uint32_t h = 0; h < numHashes_; ++h) {
+        auto &c = counters_[slotOf(key, h)];
+        if (c == counterMax_) {
+            // A saturated counter cannot be decremented safely: doing so
+            // could introduce false negatives for other members. Leave it
+            // pinned (standard saturating-CBF behaviour; adds only false
+            // positives, which the approximation logic tolerates).
+            continue;
+        }
+        if (c > 0)
+            --c;
+    }
+}
+
+bool
+CountingBloomFilter::test(std::uint64_t key) const
+{
+    for (std::uint32_t h = 0; h < numHashes_; ++h) {
+        if (counters_[slotOf(key, h)] == 0)
+            return false;
+    }
+    return true;
+}
+
+void
+CountingBloomFilter::clear()
+{
+    std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+} // namespace fuse

@@ -1,0 +1,70 @@
+#include "cache/mshr.hh"
+
+namespace fuse
+{
+
+Mshr::Mshr(std::uint32_t num_entries, StatGroup *stats)
+    : capacity_(num_entries), stats_(stats)
+{
+    entries_.reserve(num_entries * 2);
+}
+
+MshrResult
+Mshr::access(Addr line_addr, Cycle ready_at, BankId destination)
+{
+    auto it = entries_.find(line_addr);
+    if (it != entries_.end()) {
+        ++it->second.mergedCount;
+        if (stats_)
+            ++stats_->scalar("mshr_merged");
+        return {MshrResult::Kind::Merged, &it->second};
+    }
+    if (entries_.size() >= capacity_) {
+        if (stats_)
+            ++stats_->scalar("mshr_full_stall");
+        return {MshrResult::Kind::Full, nullptr};
+    }
+    MshrEntry entry;
+    entry.lineAddr = line_addr;
+    entry.readyAt = ready_at;
+    entry.destination = destination;
+    if (ready_at < minReadyAt_)
+        minReadyAt_ = ready_at;
+    auto [pos, inserted] = entries_.emplace(line_addr, entry);
+    if (stats_)
+        ++stats_->scalar("mshr_allocated");
+    return {MshrResult::Kind::NewMiss, &pos->second};
+}
+
+MshrEntry *
+Mshr::find(Addr line_addr)
+{
+    auto it = entries_.find(line_addr);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+Mshr::retire(Addr line_addr)
+{
+    entries_.erase(line_addr);
+}
+
+void
+Mshr::retireReady(Cycle now)
+{
+    if (entries_.empty() || now < minReadyAt_)
+        return;
+    Cycle new_min = kNever;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.readyAt <= now) {
+            it = entries_.erase(it);
+        } else {
+            if (it->second.readyAt < new_min)
+                new_min = it->second.readyAt;
+            ++it;
+        }
+    }
+    minReadyAt_ = new_min;
+}
+
+} // namespace fuse

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Miss Status Holding Registers. Merges secondary misses to an in-flight
+ * line with its primary miss; carries the paper's extended "destination
+ * bits" (internal cache bank ID) so fills route directly to the SRAM or
+ * STT-MRAM bank (FUSE §IV-A).
+ */
+
+#ifndef FUSE_CACHE_MSHR_HH
+#define FUSE_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fuse
+{
+
+/** One in-flight miss. */
+struct MshrEntry
+{
+    Addr lineAddr = 0;
+    Cycle readyAt = 0;          ///< When the fill data arrives at the L1D.
+    BankId destination = BankId::Sram;  ///< Extended destination bits.
+    std::uint32_t mergedCount = 0;      ///< Secondary misses merged.
+    bool fillPending = true;            ///< Cleared once the fill is applied.
+};
+
+/** Outcome of registering a miss with the MSHR. */
+struct MshrResult
+{
+    enum class Kind : std::uint8_t
+    {
+        NewMiss,   ///< Allocated a fresh entry; caller must issue off-chip.
+        Merged,    ///< Joined an in-flight miss; no new off-chip request.
+        Full       ///< No free entry; caller must stall/retry.
+    };
+    Kind kind = Kind::Full;
+    MshrEntry *entry = nullptr;
+};
+
+/**
+ * Fixed-capacity MSHR file keyed by line address. Entries are freed lazily:
+ * the owner calls retire() once the fill has been applied to a bank.
+ */
+class Mshr
+{
+  public:
+    /** @param num_entries capacity (paper/GPGPU-Sim default: 32). */
+    explicit Mshr(std::uint32_t num_entries, StatGroup *stats = nullptr);
+
+    /**
+     * Register a miss on @p line_addr.
+     * If the line already has an entry, merges (even if the data will be
+     * ready in the past — caller clamps). Otherwise allocates.
+     */
+    MshrResult access(Addr line_addr, Cycle ready_at, BankId destination);
+
+    /** Look up an in-flight entry. */
+    MshrEntry *find(Addr line_addr);
+
+    /** Remove the entry for @p line_addr (fill applied). */
+    void retire(Addr line_addr);
+
+    /** Free every entry whose readyAt <= now (bulk lazy cleanup).
+     *  O(1) when nothing is ready yet (guarded by a cached minimum). */
+    void retireReady(Cycle now);
+
+    /** Earliest in-flight fill time — when a Full stall can retry. */
+    Cycle minReadyAt() const { return minReadyAt_; }
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+    std::uint32_t capacity() const { return capacity_; }
+    bool full() const { return entries_.size() >= capacity_; }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    static constexpr Cycle kNever = ~Cycle(0);
+
+    std::uint32_t capacity_;
+    std::unordered_map<Addr, MshrEntry> entries_;
+    StatGroup *stats_;
+    /** Lower bound on the smallest readyAt among entries. */
+    Cycle minReadyAt_ = kNever;
+};
+
+} // namespace fuse
+
+#endif // FUSE_CACHE_MSHR_HH

@@ -1,0 +1,112 @@
+#include "cache/replacement.hh"
+
+#include "common/log.hh"
+
+namespace fuse
+{
+
+const char *
+toString(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::LRU: return "LRU";
+      case ReplPolicy::FIFO: return "FIFO";
+      case ReplPolicy::PseudoLRU: return "PseudoLRU";
+    }
+    return "?";
+}
+
+void
+ReplacementPolicy::touch(std::uint32_t, std::uint32_t, std::uint32_t)
+{
+    // Default: timestamp-based policies read CacheLine fields directly.
+}
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::create(ReplPolicy policy, std::uint32_t num_sets,
+                          std::uint32_t num_ways)
+{
+    switch (policy) {
+      case ReplPolicy::LRU:
+        return std::make_unique<LruPolicy>();
+      case ReplPolicy::FIFO:
+        return std::make_unique<FifoPolicy>();
+      case ReplPolicy::PseudoLRU:
+        return std::make_unique<PseudoLruPolicy>(num_sets, num_ways);
+    }
+    fuse_panic("unknown replacement policy");
+}
+
+std::uint32_t
+LruPolicy::victim(const std::vector<CacheLine> &ways, std::uint32_t)
+{
+    std::uint32_t v = 0;
+    for (std::uint32_t w = 1; w < ways.size(); ++w) {
+        if (ways[w].lastTouch < ways[v].lastTouch)
+            v = w;
+    }
+    return v;
+}
+
+std::uint32_t
+FifoPolicy::victim(const std::vector<CacheLine> &ways, std::uint32_t)
+{
+    std::uint32_t v = 0;
+    for (std::uint32_t w = 1; w < ways.size(); ++w) {
+        if (ways[w].insertedAt < ways[v].insertedAt)
+            v = w;
+    }
+    return v;
+}
+
+PseudoLruPolicy::PseudoLruPolicy(std::uint32_t num_sets,
+                                 std::uint32_t num_ways)
+    : numWays_(num_ways),
+      treeNodes_(num_ways > 1 ? num_ways - 1 : 1),
+      bits_(static_cast<std::size_t>(num_sets) * treeNodes_, 0)
+{
+    if (num_ways & (num_ways - 1))
+        fuse_fatal("PseudoLRU requires power-of-two associativity, got %u",
+                   num_ways);
+}
+
+std::uint32_t
+PseudoLruPolicy::victim(const std::vector<CacheLine> &ways,
+                        std::uint32_t set_index)
+{
+    if (numWays_ == 1)
+        return 0;
+    std::uint8_t *tree = &bits_[std::size_t(set_index) * treeNodes_];
+    // Walk from the root following the bits: 0 means "left is older".
+    std::uint32_t node = 0;
+    while (node < treeNodes_) {
+        std::uint32_t next = 2 * node + 1 + tree[node];
+        if (next >= treeNodes_) {
+            std::uint32_t way = next - treeNodes_;
+            return way < ways.size() ? way : 0;
+        }
+        node = next;
+    }
+    return 0;
+}
+
+void
+PseudoLruPolicy::touch(std::uint32_t set_index, std::uint32_t way,
+                       std::uint32_t num_ways)
+{
+    if (numWays_ == 1)
+        return;
+    std::uint8_t *tree = &bits_[std::size_t(set_index) * treeNodes_];
+    // Walk from the leaf up, pointing every node away from this way.
+    std::uint32_t node = treeNodes_ + way;
+    while (node > 0) {
+        std::uint32_t parent = (node - 1) / 2;
+        bool came_from_right = (node == 2 * parent + 2);
+        // Point at the *other* child so the victim walk avoids this way.
+        tree[parent] = came_from_right ? 0 : 1;
+        node = parent;
+    }
+    (void)num_ways;
+}
+
+} // namespace fuse

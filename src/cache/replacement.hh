@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Replacement policies for set-associative tag arrays: LRU, FIFO, and
+ * tree-based pseudo-LRU. The paper uses LRU for SRAM banks and FIFO for the
+ * (approximately) fully-associative STT-MRAM bank, whose circuit cannot
+ * afford true LRU.
+ */
+
+#ifndef FUSE_CACHE_REPLACEMENT_HH
+#define FUSE_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/line.hh"
+
+namespace fuse
+{
+
+/** Which replacement policy a tag array should instantiate. */
+enum class ReplPolicy : std::uint8_t { LRU, FIFO, PseudoLRU };
+
+const char *toString(ReplPolicy policy);
+
+/**
+ * Strategy interface: given the lines of one set, pick a victim way.
+ * Policies are stateless across sets except PseudoLRU, which keeps one
+ * tree per set (hence the set_index parameter).
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Choose the victim way among @p ways (invalid ways are preferred
+     *  by the caller before this is consulted). */
+    virtual std::uint32_t victim(const std::vector<CacheLine> &ways,
+                                 std::uint32_t set_index) = 0;
+
+    /** Notify that @p way in @p set_index was touched (hit or fill). */
+    virtual void touch(std::uint32_t set_index, std::uint32_t way,
+                       std::uint32_t num_ways);
+
+    /** Factory. @p num_sets/@p num_ways size per-set state (PseudoLRU). */
+    static std::unique_ptr<ReplacementPolicy> create(ReplPolicy policy,
+                                                     std::uint32_t num_sets,
+                                                     std::uint32_t num_ways);
+};
+
+/** Evict the least-recently-touched line (uses CacheLine::lastTouch). */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    std::uint32_t victim(const std::vector<CacheLine> &ways,
+                         std::uint32_t set_index) override;
+};
+
+/** Evict the oldest-inserted line (uses CacheLine::insertedAt). */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    std::uint32_t victim(const std::vector<CacheLine> &ways,
+                         std::uint32_t set_index) override;
+};
+
+/**
+ * Tree-based pseudo-LRU: one bit per internal node of a binary tree over
+ * the ways; touching a way flips the path bits away from it, the victim
+ * follows the bits. O(log ways) state reads, 1 bit per node — the policy
+ * hardware actually ships in L1 caches.
+ */
+class PseudoLruPolicy : public ReplacementPolicy
+{
+  public:
+    PseudoLruPolicy(std::uint32_t num_sets, std::uint32_t num_ways);
+
+    std::uint32_t victim(const std::vector<CacheLine> &ways,
+                         std::uint32_t set_index) override;
+    void touch(std::uint32_t set_index, std::uint32_t way,
+               std::uint32_t num_ways) override;
+
+  private:
+    std::uint32_t numWays_;
+    std::uint32_t treeNodes_;
+    std::vector<std::uint8_t> bits_;  ///< treeNodes_ bits per set, flattened.
+};
+
+} // namespace fuse
+
+#endif // FUSE_CACHE_REPLACEMENT_HH

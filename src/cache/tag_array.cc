@@ -1,0 +1,136 @@
+#include "cache/tag_array.hh"
+
+#include "common/log.hh"
+
+namespace fuse
+{
+
+TagArray::TagArray(std::uint32_t num_sets, std::uint32_t num_ways,
+                   ReplPolicy policy)
+    : numSets_(num_sets),
+      numWays_(num_ways),
+      sets_(num_sets, std::vector<CacheLine>(num_ways)),
+      repl_(ReplacementPolicy::create(policy, num_sets, num_ways))
+{
+    if (num_sets == 0 || num_ways == 0)
+        fuse_fatal("tag array needs nonzero geometry (%u sets, %u ways)",
+                   num_sets, num_ways);
+}
+
+std::vector<CacheLine> &
+TagArray::setOf(Addr line_addr)
+{
+    return sets_[setIndex(line_addr)];
+}
+
+CacheLine *
+TagArray::probe(Addr line_addr, Cycle now)
+{
+    std::uint32_t set = setIndex(line_addr);
+    auto &ways = sets_[set];
+    for (std::uint32_t w = 0; w < numWays_; ++w) {
+        if (ways[w].valid && ways[w].tag == line_addr) {
+            ways[w].lastTouch = now;
+            repl_->touch(set, w, numWays_);
+            return &ways[w];
+        }
+    }
+    return nullptr;
+}
+
+const CacheLine *
+TagArray::peek(Addr line_addr) const
+{
+    const auto &ways = sets_[static_cast<std::uint32_t>(line_addr % numSets_)];
+    for (const auto &line : ways) {
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+std::optional<Eviction>
+TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
+{
+    std::uint32_t set = setIndex(line_addr);
+    auto &ways = sets_[set];
+
+    // Refill over an existing copy (shouldn't normally happen, but be safe).
+    for (std::uint32_t w = 0; w < numWays_; ++w) {
+        if (ways[w].valid && ways[w].tag == line_addr) {
+            ways[w].lastTouch = now;
+            repl_->touch(set, w, numWays_);
+            if (filled)
+                *filled = &ways[w];
+            return std::nullopt;
+        }
+    }
+
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < numWays_; ++w) {
+        if (!ways[w].valid) {
+            ways[w].resetForFill(line_addr, now);
+            repl_->touch(set, w, numWays_);
+            if (filled)
+                *filled = &ways[w];
+            return std::nullopt;
+        }
+    }
+
+    // Evict per policy.
+    std::uint32_t victim = repl_->victim(ways, set);
+    Eviction ev{ways[victim]};
+    ways[victim].resetForFill(line_addr, now);
+    repl_->touch(set, victim, numWays_);
+    if (filled)
+        *filled = &ways[victim];
+    return ev;
+}
+
+std::optional<CacheLine>
+TagArray::invalidate(Addr line_addr)
+{
+    auto &ways = setOf(line_addr);
+    for (auto &line : ways) {
+        if (line.valid && line.tag == line_addr) {
+            CacheLine copy = line;
+            line.valid = false;
+            return copy;
+        }
+    }
+    return std::nullopt;
+}
+
+std::uint32_t
+TagArray::occupancy() const
+{
+    std::uint32_t n = 0;
+    for (const auto &ways : sets_) {
+        for (const auto &line : ways)
+            n += line.valid ? 1 : 0;
+    }
+    return n;
+}
+
+void
+TagArray::forEachValid(
+    const std::function<void(const CacheLine &)> &fn) const
+{
+    for (const auto &ways : sets_) {
+        for (const auto &line : ways) {
+            if (line.valid)
+                fn(line);
+        }
+    }
+}
+
+void
+TagArray::clear()
+{
+    for (auto &ways : sets_) {
+        for (auto &line : ways)
+            line = CacheLine{};
+    }
+}
+
+} // namespace fuse

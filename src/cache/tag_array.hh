@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A set-associative tag array: the lookup/insert/evict core reused by the
+ * SRAM L1D bank, the STT-MRAM bank, and the shared L2 cache.
+ */
+
+#ifndef FUSE_CACHE_TAG_ARRAY_HH
+#define FUSE_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/line.hh"
+#include "cache/replacement.hh"
+#include "common/types.hh"
+
+namespace fuse
+{
+
+/** Result of a fill: the victim line's metadata, if a valid line was evicted. */
+struct Eviction
+{
+    CacheLine line;   ///< Copy of the evicted line's metadata.
+};
+
+/**
+ * Set-associative tag array with pluggable replacement. A fully-associative
+ * array is simply numSets == 1.
+ */
+class TagArray
+{
+  public:
+    /**
+     * @param num_sets  Number of sets (1 = fully associative).
+     * @param num_ways  Associativity.
+     * @param policy    Replacement policy.
+     */
+    TagArray(std::uint32_t num_sets, std::uint32_t num_ways,
+             ReplPolicy policy);
+
+    /** Look up @p line_addr; touch on hit. Returns the line or nullptr. */
+    CacheLine *probe(Addr line_addr, Cycle now);
+
+    /** Look up without updating replacement state (for peeking). */
+    const CacheLine *peek(Addr line_addr) const;
+
+    /**
+     * Insert @p line_addr, evicting if the set is full.
+     * @return metadata of the evicted valid line, if any.
+     */
+    std::optional<Eviction> fill(Addr line_addr, Cycle now,
+                                 CacheLine **filled = nullptr);
+
+    /** Invalidate @p line_addr if present; returns the removed line. */
+    std::optional<CacheLine> invalidate(Addr line_addr);
+
+    /** Number of valid lines currently resident. */
+    std::uint32_t occupancy() const;
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t numWays() const { return numWays_; }
+    std::uint32_t numLines() const { return numSets_ * numWays_; }
+
+    /** Set index for @p line_addr (exposed for the approximation logic). */
+    std::uint32_t setIndex(Addr line_addr) const
+    {
+        return static_cast<std::uint32_t>(line_addr % numSets_);
+    }
+
+    /** Visit every valid line (tests and the offline classifier). */
+    void forEachValid(const std::function<void(const CacheLine &)> &fn) const;
+
+    /** Drop every line (kernel boundary / test reset). */
+    void clear();
+
+  private:
+    std::vector<CacheLine> &setOf(Addr line_addr);
+
+    std::uint32_t numSets_;
+    std::uint32_t numWays_;
+    std::vector<std::vector<CacheLine>> sets_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_CACHE_TAG_ARRAY_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic, fast pseudo-random number generation (xorshift128+) used by
+ * workload generators and hash mixing. std::mt19937 is avoided on the hot
+ * path for speed and cross-platform determinism of our traces.
+ */
+
+#ifndef FUSE_COMMON_RNG_HH
+#define FUSE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace fuse
+{
+
+/** xorshift128+ generator: tiny state, excellent speed, deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 seeding so nearby seeds diverge immediately.
+        auto next = [&seed]() {
+            seed += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            return z ^ (z >> 31);
+        };
+        s0_ = next();
+        s1_ = next();
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next 64 uniformly random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_COMMON_RNG_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A small statistics framework: named scalar counters, averages, and
+ * distributions that register themselves with a StatGroup and can be dumped
+ * in one call. Modelled loosely on gem5's stats package, but header-light.
+ */
+
+#ifndef FUSE_COMMON_STATS_HH
+#define FUSE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fuse
+{
+
+/**
+ * A flat collection of named statistics. Components own a StatGroup (or
+ * share their parent's) and create counters through it; the group can render
+ * every stat to a stream and merge with sibling groups.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Increment-only scalar counter. */
+    class Scalar
+    {
+      public:
+        Scalar() = default;
+        void operator+=(double v) { value_ += v; }
+        void operator++() { value_ += 1.0; }
+        void operator++(int) { value_ += 1.0; }
+        void set(double v) { value_ = v; }
+        double value() const { return value_; }
+        void reset() { value_ = 0.0; }
+
+      private:
+        double value_ = 0.0;
+    };
+
+    /** Running average (sum / count). */
+    class Average
+    {
+      public:
+        void sample(double v) { sum_ += v; ++count_; }
+        double mean() const { return count_ ? sum_ / count_ : 0.0; }
+        std::uint64_t count() const { return count_; }
+        double sum() const { return sum_; }
+        void reset() { sum_ = 0.0; count_ = 0; }
+        /** Fold another average into this one (exact: sums and counts add). */
+        void merge(const Average &other)
+        {
+            sum_ += other.sum_;
+            count_ += other.count_;
+        }
+
+      private:
+        double sum_ = 0.0;
+        std::uint64_t count_ = 0;
+    };
+
+    /** Create (or fetch) a scalar stat with @p name. */
+    Scalar &scalar(const std::string &name);
+    /** Create (or fetch) an average stat with @p name. */
+    Average &average(const std::string &name);
+
+    /** Value of a scalar (0 if absent — convenient for optional stats). */
+    double get(const std::string &name) const;
+    /** True if a scalar with @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Add every scalar/average of @p other into this group. */
+    void merge(const StatGroup &other);
+
+    /** Reset all stats to zero. */
+    void reset();
+
+    /** Print "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Stable iteration over scalar names (for reporting). */
+    std::vector<std::string> scalarNames() const;
+
+  private:
+    std::string name_;
+    // std::map keeps deterministic dump order.
+    std::map<std::string, Scalar> scalars_;
+    std::map<std::string, Average> averages_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_COMMON_STATS_HH

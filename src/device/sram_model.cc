@@ -1,0 +1,49 @@
+#include "device/sram_model.hh"
+
+#include <cmath>
+
+namespace fuse
+{
+
+SramParams
+SramModel::scaled(std::uint32_t size_bytes)
+{
+    // Table I reference point: 32KB SRAM bank.
+    constexpr double kRefBytes = 32.0 * 1024.0;
+    const double ratio = static_cast<double>(size_bytes) / kRefBytes;
+
+    SramParams p;
+    p.sizeBytes = size_bytes;
+    p.readLatency = 1;
+    p.writeLatency = 1;
+    // Dynamic energy scales ~sqrt(capacity): halving capacity halves the
+    // bitline length in one dimension. Table I's 16KB hybrid-bank entries
+    // (0.09/0.07 nJ) sit close to this rule from the 32KB point
+    // (0.15/0.12 nJ): 0.15/sqrt(2) = 0.106, 0.12/sqrt(2) = 0.085 — we keep
+    // the published values at the two published sizes and interpolate with
+    // the sqrt rule elsewhere.
+    if (size_bytes == 32 * 1024) {
+        p.readEnergy = 0.15;
+        p.writeEnergy = 0.12;
+        p.leakagePower = 58.0;
+    } else if (size_bytes == 16 * 1024) {
+        p.readEnergy = 0.09;
+        p.writeEnergy = 0.07;
+        p.leakagePower = 36.0;
+    } else {
+        p.readEnergy = 0.15 * std::sqrt(ratio);
+        p.writeEnergy = 0.12 * std::sqrt(ratio);
+        // Leakage scales with cell count, with a fixed peripheral floor.
+        p.leakagePower = 58.0 * (0.25 + 0.75 * ratio);
+    }
+    return p;
+}
+
+double
+SramModel::arrayAreaF2() const
+{
+    const double bits = static_cast<double>(params_.sizeBytes) * 8.0;
+    return bits * params_.cellAreaF2;
+}
+
+} // namespace fuse

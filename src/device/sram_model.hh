@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SRAM array device model: the latency/energy/area scalars the paper takes
+ * from CACTI 6.5, plus the analytic cell/peripheral relationships used to
+ * derive them (6T cell, 140F^2). Values default to Table I's entries.
+ */
+
+#ifndef FUSE_DEVICE_SRAM_MODEL_HH
+#define FUSE_DEVICE_SRAM_MODEL_HH
+
+#include <cstdint>
+
+namespace fuse
+{
+
+/** Timing/energy/area parameters of one SRAM cache bank. */
+struct SramParams
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t readLatency = 1;    ///< cycles (Table I).
+    std::uint32_t writeLatency = 1;   ///< cycles (Table I).
+    double readEnergy = 0.15;         ///< nJ/access (Table I, 32KB bank).
+    double writeEnergy = 0.12;        ///< nJ/access.
+    double leakagePower = 58.0;       ///< mW (Table I, 32KB bank).
+    double cellAreaF2 = 140.0;        ///< 6T SRAM cell area (ITRS).
+};
+
+/**
+ * Analytic SRAM model. Scales Table I's published 32KB-bank scalars with
+ * capacity: dynamic energy ~ sqrt(capacity) (bitline/wordline halves),
+ * leakage ~ capacity (cell count).
+ */
+class SramModel
+{
+  public:
+    explicit SramModel(const SramParams &params) : params_(params) {}
+
+    /** Parameters for a bank of @p size_bytes derived from Table I. */
+    static SramParams scaled(std::uint32_t size_bytes);
+
+    std::uint32_t readLatency() const { return params_.readLatency; }
+    std::uint32_t writeLatency() const { return params_.writeLatency; }
+    double readEnergy() const { return params_.readEnergy; }
+    double writeEnergy() const { return params_.writeEnergy; }
+    double leakagePower() const { return params_.leakagePower; }
+
+    /** Cell-array area in F^2 (excludes peripherals). */
+    double arrayAreaF2() const;
+
+    const SramParams &params() const { return params_; }
+
+  private:
+    SramParams params_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_DEVICE_SRAM_MODEL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * STT-MRAM array device model: the NVSim-derived scalars of Table I plus
+ * the MTJ-level asymmetry (reads sense resistance quickly; writes must
+ * physically torque the free layer, hence 5x latency and ~3x power).
+ * Cell: 1T-1MTJ, 36F^2 — about 4x denser than the 140F^2 6T SRAM cell.
+ */
+
+#ifndef FUSE_DEVICE_STTMRAM_MODEL_HH
+#define FUSE_DEVICE_STTMRAM_MODEL_HH
+
+#include <cstdint>
+
+namespace fuse
+{
+
+/** Timing/energy/area parameters of one STT-MRAM cache bank. */
+struct SttMramParams
+{
+    std::uint32_t sizeBytes = 64 * 1024;
+    std::uint32_t readLatency = 1;     ///< cycles (Table I: 1-cycle read).
+    std::uint32_t writeLatency = 5;    ///< cycles (Table I: 5-cycle write).
+    double readEnergy = 0.26;          ///< nJ/access (Table I, 64KB bank).
+    double writeEnergy = 2.4;          ///< nJ/access (MTJ torque is costly).
+    double leakagePower = 2.6;         ///< mW — MTJs don't leak; only CMOS
+                                       ///< peripherals do (Table I).
+    double cellAreaF2 = 36.0;          ///< 1T-1MTJ cell area.
+};
+
+/** Density advantage over SRAM at equal area: 140F^2 / 36F^2 truncated to
+ *  the paper's working figure. */
+constexpr double kSttDensityVsSram = 4.0;
+
+/** Analytic STT-MRAM model mirroring SramModel. */
+class SttMramModel
+{
+  public:
+    explicit SttMramModel(const SttMramParams &params) : params_(params) {}
+
+    /** Parameters for a bank of @p size_bytes derived from Table I. */
+    static SttMramParams scaled(std::uint32_t size_bytes);
+
+    std::uint32_t readLatency() const { return params_.readLatency; }
+    std::uint32_t writeLatency() const { return params_.writeLatency; }
+    double readEnergy() const { return params_.readEnergy; }
+    double writeEnergy() const { return params_.writeEnergy; }
+    double leakagePower() const { return params_.leakagePower; }
+
+    /** Cell-array area in F^2 (excludes peripherals). */
+    double arrayAreaF2() const;
+
+    const SttMramParams &params() const { return params_; }
+
+  private:
+    SttMramParams params_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_DEVICE_STTMRAM_MODEL_HH

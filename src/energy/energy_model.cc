@@ -1,0 +1,101 @@
+#include "energy/energy_model.hh"
+
+#include "device/sram_model.hh"
+#include "device/sttmram_model.hh"
+#include "fuse/hybrid_l1d.hh"
+#include "fuse/nvm_bypass_l1d.hh"
+#include "fuse/sram_l1d.hh"
+#include "gpu/gpu.hh"
+
+namespace fuse
+{
+
+namespace
+{
+
+/** Dynamic + leakage energy of one bank over @p seconds. */
+double
+bankDynamic(const CacheBank &bank, double read_nj, double write_nj)
+{
+    return static_cast<double>(bank.reads()) * read_nj
+           + static_cast<double>(bank.writes()) * write_nj;
+}
+
+/** mW x seconds => nJ (1 mW*s = 1e6 nJ... 1 mW = 1e-3 J/s = 1e6 nJ/s). */
+double
+leakageNj(double milliwatts, double seconds)
+{
+    return milliwatts * 1e6 * seconds;
+}
+
+/** Accumulate one L1D's dynamic/leakage energy into the breakdown. */
+void
+addL1dEnergy(const L1DCache &l1d, double seconds, EnergyBreakdown &out)
+{
+    if (const auto *sram = dynamic_cast<const SramL1D *>(&l1d)) {
+        auto &bank = const_cast<SramL1D *>(sram)->bank();
+        SramParams p = SramModel::scaled(bank.config().sizeBytes);
+        out.l1dDynamic += bankDynamic(bank, p.readEnergy, p.writeEnergy);
+        out.l1dLeakage += leakageNj(p.leakagePower, seconds);
+        return;
+    }
+    if (const auto *nvm = dynamic_cast<const NvmBypassL1D *>(&l1d)) {
+        auto &bank = const_cast<NvmBypassL1D *>(nvm)->bank();
+        SttMramParams p = SttMramModel::scaled(bank.config().sizeBytes);
+        out.l1dDynamic += bankDynamic(bank, p.readEnergy, p.writeEnergy);
+        out.l1dLeakage += leakageNj(p.leakagePower, seconds);
+        return;
+    }
+    if (const auto *hybrid = dynamic_cast<const HybridL1D *>(&l1d)) {
+        auto &mutable_hybrid = const_cast<HybridL1D &>(*hybrid);
+        auto &sram_bank = mutable_hybrid.sramBank();
+        auto &stt_bank = mutable_hybrid.sttBank();
+        SramParams sp = SramModel::scaled(sram_bank.config().sizeBytes);
+        SttMramParams tp =
+            SttMramModel::scaled(stt_bank.config().sizeBytes);
+        out.l1dDynamic +=
+            bankDynamic(sram_bank, sp.readEnergy, sp.writeEnergy);
+        out.l1dDynamic +=
+            bankDynamic(stt_bank, tp.readEnergy, tp.writeEnergy);
+        out.l1dLeakage += leakageNj(sp.leakagePower + tp.leakagePower,
+                                    seconds);
+        return;
+    }
+    // Oracle (or future organisations without a device model): charge the
+    // baseline SRAM leakage so comparisons stay conservative.
+    SramParams p = SramModel::scaled(32 * 1024);
+    out.l1dLeakage += leakageNj(p.leakagePower, seconds);
+}
+
+} // namespace
+
+EnergyBreakdown
+EnergyModel::evaluate(const Gpu &gpu) const
+{
+    EnergyBreakdown out;
+    const double seconds =
+        static_cast<double>(gpu.cycles()) / params_.coreClockHz;
+
+    for (const auto &sm : gpu.sms())
+        addL1dEnergy(sm->l1d(), seconds, out);
+
+    // L2 accesses: every off-chip request and writeback touches an L2
+    // bank once.
+    const double l2_accesses = gpu.hierarchy().stats().get("requests");
+    out.l2 = l2_accesses * params_.l2AccessEnergy
+             + leakageNj(params_.l2LeakagePower, seconds);
+
+    out.dram = gpu.hierarchy().dram().stats().get("requests")
+               * params_.dramAccessEnergy;
+    out.noc = gpu.hierarchy().noc().stats().get("packets")
+              * params_.nocPacketEnergy;
+
+    out.compute = static_cast<double>(gpu.totalInstructions())
+                  * params_.computeEnergy;
+    out.smLeakage = leakageNj(
+        params_.smLeakagePower * static_cast<double>(gpu.sms().size()),
+        seconds);
+    return out;
+}
+
+} // namespace fuse

@@ -1,0 +1,130 @@
+#include "fuse/assoc_approx.hh"
+
+#include "common/log.hh"
+
+namespace fuse
+{
+
+namespace
+{
+/** Partition hash: SplitMix64 finaliser, distinct from the CBF hashes. */
+std::uint64_t
+partitionMix(std::uint64_t key)
+{
+    std::uint64_t z = key * 0xD6E8FEB86659FD93ull;
+    z ^= z >> 32;
+    z *= 0xD6E8FEB86659FD93ull;
+    return z ^ (z >> 32);
+}
+} // namespace
+
+AssocApprox::AssocApprox(const AssocApproxConfig &config,
+                         std::uint32_t num_lines)
+    : config_(config),
+      linesPerPartition_(num_lines / (config.numCbfs ? config.numCbfs : 1)),
+      stats_("assoc_approx")
+{
+    if (config.numCbfs == 0)
+        fuse_fatal("approximation logic needs at least one CBF");
+    if (linesPerPartition_ == 0)
+        linesPerPartition_ = 1;
+    cbfs_.reserve(config.numCbfs);
+    for (std::uint32_t i = 0; i < config.numCbfs; ++i)
+        cbfs_.emplace_back(config.cbfSlots, config.numHashes,
+                           config.counterBits);
+    residents_.resize(config.numCbfs);
+    lastSaturations_.assign(config.numCbfs, 0);
+}
+
+void
+AssocApprox::refresh(std::uint32_t p)
+{
+    cbfs_[p].clear();
+    for (Addr line : residents_[p])
+        cbfs_[p].insert(line);
+    lastSaturations_[p] = cbfs_[p].saturations();
+    ++stats_.scalar("cbf_refreshes");
+}
+
+std::uint32_t
+AssocApprox::partitionOf(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(partitionMix(line_addr)
+                                      % config_.numCbfs);
+}
+
+void
+AssocApprox::insert(Addr line_addr)
+{
+    const std::uint32_t p = partitionOf(line_addr);
+    cbfs_[p].insert(line_addr);
+    residents_[p].push_back(line_addr);
+    ++stats_.scalar("inserts");
+}
+
+void
+AssocApprox::remove(Addr line_addr)
+{
+    const std::uint32_t p = partitionOf(line_addr);
+    auto &members = residents_[p];
+    for (auto it = members.begin(); it != members.end(); ++it) {
+        if (*it == line_addr) {
+            members.erase(it);
+            break;
+        }
+    }
+    cbfs_[p].remove(line_addr);
+    // Saturated counters could not be decremented: refresh the partition
+    // from its resident tags to clear the residue.
+    if (cbfs_[p].saturations() != lastSaturations_[p])
+        refresh(p);
+    ++stats_.scalar("removes");
+}
+
+TagSearchResult
+AssocApprox::search(Addr line_addr, bool actually_present)
+{
+    TagSearchResult result;
+    const std::uint32_t partition = partitionOf(line_addr);
+
+    // Stage 1: NVM-CBF test. All CBF columns are sensed in parallel in the
+    // 2D MTJ island, so the test costs one STT-MRAM read (§IV-C measures
+    // 591ps — under one cache cycle; we charge 1 cycle).
+    const bool positive = cbfs_[partition].test(line_addr);
+    accuracy_.record(positive, actually_present);
+    result.cycles = 1;
+
+    if (!positive) {
+        // Definite miss: no polling at all.
+        result.found = false;
+        ++stats_.scalar("searches");
+        stats_.average("search_cycles").sample(result.cycles);
+        return result;
+    }
+
+    // Stage 2: poll the positive partition's tag entries with the limited
+    // comparator pool: ceil(lines / comparators) serialized cycles.
+    result.partitionsPolled = 1;
+    const std::uint32_t poll_cycles =
+        (linesPerPartition_ + config_.comparators - 1) / config_.comparators;
+    result.cycles += poll_cycles;
+    result.found = actually_present;
+    result.falsePositive = !actually_present;
+    if (result.falsePositive)
+        ++stats_.scalar("false_positive_polls");
+
+    ++stats_.scalar("searches");
+    stats_.average("search_cycles").sample(result.cycles);
+    return result;
+}
+
+double
+AssocApprox::averageSearchCycles() const
+{
+    // StatGroup::average() is create-or-fetch and therefore non-const;
+    // reading through a mutable alias is safe here.
+    auto &self = const_cast<AssocApprox &>(*this);
+    return self.stats_.average("search_cycles").mean();
+}
+
+} // namespace fuse

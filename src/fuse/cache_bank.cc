@@ -1,0 +1,135 @@
+#include "fuse/cache_bank.hh"
+
+#include <algorithm>
+
+namespace fuse
+{
+
+CacheBank::CacheBank(const BankConfig &config, std::string stat_name)
+    : config_(config),
+      tags_(config.numSets, config.numWays, config.policy),
+      stats_(std::move(stat_name))
+{
+    statReads_ = &stats_.scalar("array_reads");
+    statWrites_ = &stats_.scalar("array_writes");
+    statFills_ = &stats_.scalar("fills");
+    statDirtyEvictions_ = &stats_.scalar("dirty_evictions");
+    statCleanEvictions_ = &stats_.scalar("clean_evictions");
+}
+
+Cycle
+CacheBank::occupy(Cycle now, std::uint32_t latency)
+{
+    Cycle start = std::max(now, busyUntil_);
+    busyUntil_ = start + latency;
+    return busyUntil_;
+}
+
+Cycle
+CacheBank::occupyFill(Cycle now, std::uint32_t latency)
+{
+    Cycle start = std::max(now, fillBusyUntil_);
+    fillBusyUntil_ = start + latency;
+    return fillBusyUntil_;
+}
+
+CacheLine *
+CacheBank::access(Addr line_addr, AccessType type, Cycle now, Cycle *done)
+{
+    CacheLine *line = tags_.probe(line_addr, now);
+    if (!line)
+        return nullptr;
+
+    const bool is_write = (type == AccessType::Write);
+    Cycle completed = occupy(
+        now, is_write ? config_.writeLatency : config_.readLatency);
+    if (done)
+        *done = completed;
+
+    if (is_write) {
+        line->dirty = true;
+        ++line->writeCount;
+        ++(*statWrites_);
+    } else {
+        ++line->readCount;
+        ++(*statReads_);
+    }
+    return line;
+}
+
+CacheLine *
+CacheBank::peekMutable(Addr line_addr)
+{
+    // probe() without a timestamp update would disturb LRU; reuse peek and
+    // cast away constness — the tag array owns the storage.
+    return const_cast<CacheLine *>(tags_.peek(line_addr));
+}
+
+std::optional<Eviction>
+CacheBank::fill(Addr line_addr, AccessType type, Cycle now, Cycle *done,
+                CacheLine **filled, Port port)
+{
+    // A fill is an array write regardless of the triggering access type.
+    Cycle completed = port == Port::Fill
+                          ? occupyFill(now, config_.writeLatency)
+                          : occupy(now, config_.writeLatency);
+    if (done)
+        *done = completed;
+    ++(*statWrites_);
+    ++(*statFills_);
+
+    CacheLine *slot = nullptr;
+    auto eviction = tags_.fill(line_addr, now, &slot);
+    if (slot) {
+        if (type == AccessType::Write) {
+            slot->dirty = true;
+            slot->writeCount = 1;
+        } else {
+            slot->readCount = 1;
+        }
+    }
+    if (filled)
+        *filled = slot;
+    if (eviction)
+        ++(*(eviction->line.dirty ? statDirtyEvictions_
+                                  : statCleanEvictions_));
+    return eviction;
+}
+
+BankConfig
+makeSramBankConfig(std::uint32_t size_bytes, std::uint32_t ways,
+                   ReplPolicy policy)
+{
+    BankConfig c;
+    c.tech = BankTech::Sram;
+    c.sizeBytes = size_bytes;
+    c.numWays = ways;
+    c.numSets = std::max<std::uint32_t>(1, size_bytes / kLineSize / ways);
+    c.policy = policy;
+    c.readLatency = 1;
+    c.writeLatency = 1;
+    return c;
+}
+
+BankConfig
+makeSttBankConfig(std::uint32_t size_bytes, std::uint32_t ways,
+                  bool fully_associative, ReplPolicy policy)
+{
+    BankConfig c;
+    c.tech = BankTech::SttMram;
+    c.sizeBytes = size_bytes;
+    if (fully_associative) {
+        c.numSets = 1;
+        c.numWays = std::max<std::uint32_t>(1, size_bytes / kLineSize);
+    } else {
+        c.numWays = ways;
+        c.numSets =
+            std::max<std::uint32_t>(1, size_bytes / kLineSize / ways);
+    }
+    c.policy = policy;
+    c.readLatency = 1;   // Table I: STT-MRAM read is SRAM-comparable.
+    c.writeLatency = 5;  // Table I: 5-cycle MTJ write.
+    return c;
+}
+
+} // namespace fuse

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A timing-aware L1D cache bank: a TagArray plus device occupancy (SRAM
+ * banks are always 1-cycle; STT-MRAM banks stay busy for the 5-cycle write
+ * penalty) and per-access energy accounting hooks. Both banks of the FUSE
+ * hybrid, the pure-SRAM baseline, and the pure-NVM organisation are built
+ * from this one class configured with the right device parameters.
+ */
+
+#ifndef FUSE_FUSE_CACHE_BANK_HH
+#define FUSE_FUSE_CACHE_BANK_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cache/tag_array.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fuse
+{
+
+/** Device class of a bank (selects latency/energy behaviour). */
+enum class BankTech : std::uint8_t { Sram, SttMram };
+
+/** Bank geometry/timing parameters. */
+struct BankConfig
+{
+    BankTech tech = BankTech::Sram;
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t numSets = 64;
+    std::uint32_t numWays = 4;
+    ReplPolicy policy = ReplPolicy::LRU;
+    std::uint32_t readLatency = 1;
+    std::uint32_t writeLatency = 1;   ///< 5 for STT-MRAM (Table I).
+};
+
+/**
+ * One cache bank. The owner (L1D organisation) performs the protocol;
+ * the bank provides timed probe/fill/invalidate plus busy-tracking.
+ */
+class CacheBank
+{
+  public:
+    CacheBank(const BankConfig &config, std::string stat_name);
+
+    /** Which bank port an operation occupies. Demand accesses (and the
+     *  blocking writes of non-FUSE organisations) use the demand port;
+     *  cache fills and background migrations use the write-driver (fill)
+     *  port, which is decoupled in banked SRAM/STT-MRAM arrays — a fill
+     *  does not block a concurrent demand read, but sustained fill
+     *  bandwidth is still bounded by the MTJ write time. */
+    enum class Port : std::uint8_t { Demand, Fill };
+
+    /** True if the bank's demand port is occupied at @p now. */
+    bool busy(Cycle now) const { return busyUntil_ > now; }
+    Cycle busyUntil() const { return busyUntil_; }
+
+    /** True if the fill (write-driver) port is occupied at @p now. */
+    bool fillBusy(Cycle now) const { return fillBusyUntil_ > now; }
+    Cycle fillBusyUntil() const { return fillBusyUntil_; }
+
+    /**
+     * Timed probe. Occupies the bank for the read (or write) latency on a
+     * hit. Returns the line (bookkeeping updated) or nullptr on miss.
+     * @param[out] done  completion time of the array access on a hit.
+     */
+    CacheLine *access(Addr line_addr, AccessType type, Cycle now,
+                      Cycle *done);
+
+    /** Untimed lookup (tag-only peek; no array occupancy). */
+    const CacheLine *peek(Addr line_addr) const
+    {
+        return tags_.peek(line_addr);
+    }
+    CacheLine *peekMutable(Addr line_addr);
+
+    /**
+     * Timed fill (a write to the array). Returns the evicted line if a
+     * valid block was displaced.
+     * @param port Fill uses the decoupled write-driver port (default);
+     *             Demand models organisations whose fills block the array.
+     */
+    std::optional<Eviction> fill(Addr line_addr, AccessType type, Cycle now,
+                                 Cycle *done, CacheLine **filled = nullptr,
+                                 Port port = Port::Fill);
+
+    /** Invalidate without array occupancy (tag-only operation). */
+    std::optional<CacheLine> invalidate(Addr line_addr)
+    {
+        return tags_.invalidate(line_addr);
+    }
+
+    TagArray &tags() { return tags_; }
+    const TagArray &tags() const { return tags_; }
+    const BankConfig &config() const { return config_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    std::uint64_t reads() const
+    {
+        return static_cast<std::uint64_t>(stats_.get("array_reads"));
+    }
+    std::uint64_t writes() const
+    {
+        return static_cast<std::uint64_t>(stats_.get("array_writes"));
+    }
+
+  private:
+    /** Reserve the array starting no earlier than @p now. */
+    Cycle occupy(Cycle now, std::uint32_t latency);
+    /** Reserve the fill port starting no earlier than @p now. */
+    Cycle occupyFill(Cycle now, std::uint32_t latency);
+
+    BankConfig config_;
+    TagArray tags_;
+    Cycle busyUntil_ = 0;
+    Cycle fillBusyUntil_ = 0;
+    StatGroup stats_;
+    // Hot-path counters cached out of the string-keyed map.
+    StatGroup::Scalar *statReads_;
+    StatGroup::Scalar *statWrites_;
+    StatGroup::Scalar *statFills_;
+    StatGroup::Scalar *statDirtyEvictions_;
+    StatGroup::Scalar *statCleanEvictions_;
+};
+
+/** Convenience constructors for the two Table I bank flavours. */
+BankConfig makeSramBankConfig(std::uint32_t size_bytes, std::uint32_t ways,
+                              ReplPolicy policy = ReplPolicy::LRU);
+BankConfig makeSttBankConfig(std::uint32_t size_bytes, std::uint32_t ways,
+                             bool fully_associative,
+                             ReplPolicy policy = ReplPolicy::FIFO);
+
+} // namespace fuse
+
+#endif // FUSE_FUSE_CACHE_BANK_HH

@@ -1,0 +1,475 @@
+#include "fuse/hybrid_l1d.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace fuse
+{
+
+L1DKind
+HybridL1DConfig::kindOf() const
+{
+    if (usePredictor)
+        return L1DKind::DyFuse;
+    if (approxFullAssoc)
+        return L1DKind::FaFuse;
+    if (nonBlocking)
+        return L1DKind::BaseFuse;
+    return L1DKind::Hybrid;
+}
+
+HybridL1D::HybridL1D(const HybridL1DConfig &config,
+                     MemoryHierarchy &hierarchy)
+    : L1DCache("l1d.hybrid", hierarchy),
+      config_(config),
+      sram_(makeSramBankConfig(config.sramBytes, config.sramWays),
+            "l1d.hybrid.sram"),
+      stt_(makeSttBankConfig(config.sttBytes, config.sttWays,
+                             config.approxFullAssoc),
+           "l1d.hybrid.stt"),
+      mshr_(config.mshrEntries, &stats_),
+      tagQueue_(config.tagQueueEntries, &stats_),
+      swapBuffer_(config.swapBufferEntries, &stats_),
+      predictor_(config.predictor)
+{
+    if (config.approxFullAssoc) {
+        approx_ = std::make_unique<AssocApprox>(
+            config.approx, stt_.tags().numLines());
+    }
+}
+
+std::uint32_t
+HybridL1D::sttSearchCycles(Addr line, bool present)
+{
+    if (!approx_)
+        return 1;  // Set-associative: single-cycle indexed tag read.
+    TagSearchResult search = approx_->search(line, present);
+    if (search.cycles > 1) {
+        // Serialized polling beyond the CBF test cycle is the tag-search
+        // overhead Fig. 15 plots; the tag queue hides it from the SM
+        // pipeline, but the cycles still occupy the search circuit.
+        stats_.scalar("stall_tag_search") += search.cycles - 1;
+    }
+    return search.cycles;
+}
+
+void
+HybridL1D::evictToL2(const CacheLine &line, SmId sm, Cycle now)
+{
+    recordLineOutcome(line);
+    if (line.dirty) {
+        MemRequest wb;
+        wb.addr = line.tag << kLineShift;
+        wb.smId = sm;
+        wb.type = AccessType::Write;
+        hierarchy_->writeback(wb, now);
+        ++stats_.scalar("writebacks");
+    }
+}
+
+void
+HybridL1D::recordLineOutcome(const CacheLine &line)
+{
+    if (config_.usePredictor && line.hasPrediction)
+        predictor_.recordOutcome(line.predictedLevel, line.writeCount,
+                                 line.readCount);
+}
+
+bool
+HybridL1D::migrateToStt(const CacheLine &victim, SmId sm, Cycle now)
+{
+    if (!config_.nonBlocking) {
+        // Plain Hybrid: the migration is a synchronous STT-MRAM write on
+        // the demand port — the whole L1D blocks behind it (the paper's
+        // motivation for the swap buffer + tag queue).
+        Cycle done = 0;
+        auto stt_evicted = stt_.fill(victim.tag, AccessType::Read, now,
+                                     &done, nullptr,
+                                     CacheBank::Port::Demand);
+        if (CacheLine *filled = stt_.peekMutable(victim.tag)) {
+            filled->dirty = victim.dirty;
+            filled->writeCount = victim.writeCount;
+            filled->readCount = victim.readCount;
+            filled->predictedLevel = victim.predictedLevel;
+            filled->hasPrediction = victim.hasPrediction;
+        }
+        if (approx_)
+            approx_->insert(victim.tag);
+        if (stt_evicted) {
+            if (approx_)
+                approx_->remove(stt_evicted->line.tag);
+            evictToL2(stt_evicted->line, sm, now);
+        }
+        ++stats_.scalar("migrations_sram_to_stt");
+        return true;
+    }
+
+    // FUSE path: park the line in the swap buffer and queue an "F"
+    // migration command; the drain happens in tick() when the bank frees.
+    if (swapBuffer_.full() || tagQueue_.full()) {
+        ++stats_.scalar("stall_stt");
+        return false;
+    }
+    swapBuffer_.push(victim);
+    TagQueueEntry entry;
+    entry.command = TagCommand::Migrate;
+    entry.lineAddr = victim.tag;
+    entry.enqueuedAt = now;
+    tagQueue_.push(entry);
+    ++stats_.scalar("migrations_sram_to_stt");
+    return true;
+}
+
+void
+HybridL1D::flushTagQueue(Cycle now)
+{
+    tagQueue_.flush();
+    // Re-queue migrations for lines still parked in the swap buffer: their
+    // payload survives the flush, only the meta entries were dropped.
+    for (const Addr line : swapBuffer_.residents()) {
+        TagQueueEntry entry;
+        entry.command = TagCommand::Migrate;
+        entry.lineAddr = line;
+        entry.enqueuedAt = now;
+        tagQueue_.push(entry);
+    }
+}
+
+L1DResult
+HybridL1D::sttHit(const MemRequest &req, Cycle now)
+{
+    const Addr line = req.line();
+
+    if (!req.isWrite()) {
+        // Read hit on STT-MRAM: serve at read latency once the bank frees.
+        Cycle done = 0;
+        stt_.access(line, AccessType::Read, now, &done);
+        countHit(req);
+        ++stats_.scalar("stt_read_hits");
+        return {L1DResult::Kind::Hit, done};
+    }
+
+    // Write hit on STT-MRAM data: a misprediction (WM block placed in the
+    // read-oriented bank).
+    ++stats_.scalar("stt_write_hits");
+    if (config_.usePredictor) {
+        // Dy-FUSE: migrate the block to SRAM right away, invalidate the
+        // STT copy, and serve the write from SRAM (§III-A). The payload
+        // write can't wait behind meta-only queue entries: flush.
+        if (!tagQueue_.empty())
+            flushTagQueue(now);
+        auto moved = stt_.invalidate(line);
+        if (approx_)
+            approx_->remove(line);
+        Cycle done = 0;
+        auto victim = sram_.fill(line, AccessType::Write, now, &done);
+        if (CacheLine *filled = sram_.peekMutable(line)) {
+            if (moved) {
+                filled->readCount += moved->readCount;
+                filled->writeCount += moved->writeCount;
+                filled->predictedLevel = moved->predictedLevel;
+                filled->hasPrediction = moved->hasPrediction;
+            }
+            filled->dirty = true;
+        }
+        if (victim && !migrateToStt(victim->line, req.smId, now))
+            evictToL2(victim->line, req.smId, now);
+        ++stats_.scalar("migrations_stt_to_sram");
+        countHit(req);
+        return {L1DResult::Kind::Hit, done + 1};
+    }
+
+    // Base-FUSE / FA-FUSE / Hybrid: write the STT array in place. The tag
+    // queue (if any) must flush first — it cannot hold the 128B payload.
+    // (flushTagQueue re-queues the Migrate commands of lines still parked
+    // in the swap buffer, or they would be stranded there forever.)
+    if (config_.nonBlocking && !tagQueue_.empty())
+        flushTagQueue(now);
+    Cycle done = 0;
+    stt_.access(line, AccessType::Write, now, &done);
+    countHit(req);
+    return {L1DResult::Kind::Hit, done};
+}
+
+bool
+HybridL1D::fillSram(const MemRequest &req, Cycle now)
+{
+    const Addr line = req.line();
+    Cycle done = 0;
+    auto victim = sram_.fill(line, req.type, now, &done);
+    if (CacheLine *filled = sram_.peekMutable(line)) {
+        if (config_.usePredictor) {
+            filled->predictedLevel = predictor_.classify(req.pc);
+            filled->hasPrediction = true;
+        }
+    }
+    if (!victim)
+        return true;
+
+    // SRAM eviction: the arbitrator consults the predictor — WORO victims
+    // go straight to L2; everything else migrates to STT-MRAM.
+    if (config_.usePredictor
+        && victim->line.hasPrediction
+        && victim->line.predictedLevel == ReadLevel::WORO) {
+        evictToL2(victim->line, req.smId, now);
+        ++stats_.scalar("woro_evictions_to_l2");
+        return true;
+    }
+    if (!migrateToStt(victim->line, req.smId, now)) {
+        // Swap buffer / tag queue full despite the pre-check (possible
+        // when the same access triggered multiple evictions): drop the
+        // victim to L2 rather than lose the fill.
+        evictToL2(victim->line, req.smId, now);
+        ++stats_.scalar("migration_fallback_to_l2");
+    }
+    return true;
+}
+
+bool
+HybridL1D::fillStt(const MemRequest &req, Cycle now)
+{
+    const Addr line = req.line();
+    if (config_.nonBlocking) {
+        if (tagQueue_.full()) {
+            ++stats_.scalar("stall_stt");
+            return false;
+        }
+        TagQueueEntry entry;
+        entry.command = TagCommand::Fill;
+        entry.lineAddr = line;
+        entry.enqueuedAt = now;
+        entry.warpId = req.warpId;
+        tagQueue_.push(entry);
+    }
+    Cycle done = 0;
+    auto victim = stt_.fill(line, req.type, now, &done);
+    if (CacheLine *filled = stt_.peekMutable(line)) {
+        if (config_.usePredictor) {
+            filled->predictedLevel = predictor_.classify(req.pc);
+            filled->hasPrediction = true;
+        }
+    }
+    if (approx_)
+        approx_->insert(line);
+    if (victim) {
+        if (approx_)
+            approx_->remove(victim->line.tag);
+        evictToL2(victim->line, req.smId, now);
+    }
+    return true;
+}
+
+L1DResult
+HybridL1D::handleMiss(const MemRequest &req, Cycle now)
+{
+    const Addr line = req.line();
+
+    // Placement decision (Fig. 9): with the read-level predictor, WM data
+    // goes to SRAM, WORM/neutral to STT-MRAM, WORO bypasses the L1D.
+    // With the approximated fully-associative STT bank but no predictor
+    // (FA-FUSE), read fills route straight to the big bank via the MSHR
+    // destination bits and write fills to SRAM. Without either feature
+    // (Hybrid/Base-FUSE), everything fills SRAM first and the STT bank is
+    // a victim buffer — the strawman organisation §III-A measures.
+    BankId destination = BankId::Sram;
+    if (config_.usePredictor) {
+        switch (predictor_.classify(req.pc)) {
+          case ReadLevel::WM:
+            destination = BankId::Sram;
+            break;
+          case ReadLevel::WORM:
+          case ReadLevel::ReadIntensive:
+            destination = BankId::SttMram;
+            break;
+          case ReadLevel::WORO:
+            destination = BankId::Bypass;
+            break;
+        }
+    } else if (config_.approxFullAssoc) {
+        destination = req.isWrite() ? BankId::Sram : BankId::SttMram;
+    }
+
+    if (destination == BankId::Bypass) {
+        countBypass(req);
+        OffchipResult off = hierarchy_->access(req, now);
+        return {L1DResult::Kind::Miss, off.doneAt};
+    }
+
+    // Structural checks first, so a stalled access retries without having
+    // already booked off-chip bandwidth: MSHR space, and (for STT fills
+    // under the non-blocking design) a tag-queue slot.
+    if (mshr_.full()) {
+        ++stats_.scalar("stall_mshr_full");
+        return {L1DResult::Kind::Stall,
+                std::max(now + 1, mshr_.minReadyAt())};
+    }
+    if (destination == BankId::Sram && config_.nonBlocking
+        && (swapBuffer_.full() || tagQueue_.full())) {
+        // The fill may evict an SRAM line whose migration needs a swap
+        // buffer slot and a tag-queue entry; real hardware holds the fill
+        // until the drain frees them.
+        stats_.scalar("stall_stt") += static_cast<double>(
+            std::max<Cycle>(stt_.fillBusyUntil(), now + 1) - now);
+        return {L1DResult::Kind::Stall,
+                std::max(now + 1, stt_.fillBusyUntil())};
+    }
+    if (destination == BankId::SttMram && config_.nonBlocking
+        && tagQueue_.full()) {
+        stats_.scalar("stall_stt") +=
+            static_cast<double>(std::max<Cycle>(stt_.busyUntil(), now + 1)
+                                - now);
+        return {L1DResult::Kind::Stall,
+                std::max(now + 1, stt_.busyUntil())};
+    }
+
+    countMiss(req);
+    OffchipResult off = hierarchy_->access(req, now);
+    mshr_.access(line, off.doneAt, destination);
+
+    bool filled = destination == BankId::Sram ? fillSram(req, now)
+                                              : fillStt(req, now);
+    if (!filled)
+        fuse_panic("fill failed after structural checks passed");
+    return {L1DResult::Kind::Miss, off.doneAt};
+}
+
+L1DResult
+HybridL1D::access(const MemRequest &req, Cycle now)
+{
+    mshr_.retireReady(now);
+    // Re-issued (stalled) transactions are already latched in the LSU and
+    // must not re-train the sampler — they would fabricate reuse.
+    if (config_.usePredictor && !req.retry)
+        predictor_.observe(req);
+
+    const Addr line = req.line();
+
+    // Plain Hybrid blocks the whole L1D while an STT-MRAM write is in
+    // flight (§V: "any write on STT-MRAM will result in a long L1D stall").
+    if (!config_.nonBlocking && stt_.busy(now)) {
+        // The whole L1D blocks until the in-flight MTJ write finishes.
+        stats_.scalar("stall_stt") +=
+            static_cast<double>(stt_.busyUntil() - now);
+        return {L1DResult::Kind::Stall, stt_.busyUntil()};
+    }
+
+    if (MshrEntry *inflight = mshr_.find(line)) {
+        countMiss(req);
+        ++stats_.scalar("mshr_secondary");
+        return {L1DResult::Kind::Miss,
+                std::max(now + 1, inflight->readyAt)};
+    }
+
+    // SRAM tag search runs in parallel with the STT side; an SRAM hit
+    // terminates the STT search (arbitration, Fig. 9).
+    Cycle done = 0;
+    if (sram_.access(line, req.type, now, &done)) {
+        countHit(req);
+        ++stats_.scalar("sram_hits");
+        return {L1DResult::Kind::Hit, done};
+    }
+
+    // Swap-buffer snoop: a line mid-migration is immediately readable.
+    if (CacheLine *parked = swapBuffer_.find(line)) {
+        countHit(req);
+        ++stats_.scalar("swap_buffer_hits");
+        if (req.isWrite()) {
+            parked->dirty = true;
+            ++parked->writeCount;
+        } else {
+            ++parked->readCount;
+        }
+        return {L1DResult::Kind::Hit, now + 1};
+    }
+
+    // STT-MRAM side: serialized (approximate) tag search.
+    const bool stt_present = stt_.peek(line) != nullptr;
+    std::uint32_t search = sttSearchCycles(line, stt_present);
+
+    if (stt_present) {
+        if (config_.nonBlocking && stt_.busy(now)) {
+            // The tag queue keeps the pipeline moving: enqueue the read
+            // and promise data once the bank frees (+ search + read).
+            if (req.isWrite()) {
+                // Payload writes can't wait in the meta-only queue: flush
+                // and handle synchronously (the sttHit path).
+                return sttHit(req, now);
+            }
+            if (tagQueue_.full()) {
+                stats_.scalar("stall_stt") += static_cast<double>(
+                    std::max<Cycle>(stt_.busyUntil(), now + 1) - now);
+                return {L1DResult::Kind::Stall,
+                        std::max(now + 1, stt_.busyUntil())};
+            }
+            TagQueueEntry entry;
+            entry.command = TagCommand::Read;
+            entry.lineAddr = line;
+            entry.enqueuedAt = now;
+            entry.warpId = req.warpId;
+            tagQueue_.push(entry);
+            Cycle ready = stt_.busyUntil() + search
+                          + stt_.config().readLatency;
+            CacheLine *hit_line = stt_.peekMutable(line);
+            if (hit_line)
+                ++hit_line->readCount;
+            countHit(req);
+            ++stats_.scalar("stt_queued_reads");
+            return {L1DResult::Kind::Hit, ready};
+        }
+        L1DResult result = sttHit(req, now);
+        result.readyAt += search - 1;  // serialized search before the array.
+        return result;
+    }
+
+    return handleMiss(req, now);
+}
+
+void
+HybridL1D::tick(Cycle now)
+{
+    // Drain the tag queue head when the STT bank is free. Reads complete
+    // by themselves (their ready time was promised at enqueue); migrations
+    // perform the deferred array write and release the swap buffer.
+    if (!config_.nonBlocking)
+        return;
+    const TagQueueEntry *head = tagQueue_.front();
+    if (!head)
+        return;
+    if (head->command == TagCommand::Migrate && stt_.fillBusy(now))
+        return;
+
+    switch (head->command) {
+      case TagCommand::Read:
+      case TagCommand::Fill:
+        tagQueue_.pop();
+        break;
+      case TagCommand::Migrate: {
+        Addr line = head->lineAddr;
+        tagQueue_.pop();
+        auto parked = swapBuffer_.release(line);
+        if (!parked)
+            break;  // Flushed or already superseded.
+        Cycle done = 0;
+        auto stt_evicted = stt_.fill(line, AccessType::Read, now, &done);
+        if (CacheLine *filled = stt_.peekMutable(line)) {
+            filled->dirty = parked->dirty;
+            filled->writeCount = parked->writeCount;
+            filled->readCount = parked->readCount;
+            filled->predictedLevel = parked->predictedLevel;
+            filled->hasPrediction = parked->hasPrediction;
+        }
+        if (approx_)
+            approx_->insert(line);
+        if (stt_evicted) {
+            if (approx_)
+                approx_->remove(stt_evicted->line.tag);
+            evictToL2(stt_evicted->line, /*sm=*/0, now);
+        }
+        ++stats_.scalar("migrations_drained");
+        break;
+      }
+    }
+}
+
+} // namespace fuse

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The FUSE heterogeneous L1D (§III-§IV): an SRAM bank and an STT-MRAM bank
+ * fused behind one cache controller with an arbitration decision tree
+ * (Fig. 9). Four evaluated organisations share this implementation:
+ *
+ *  - Hybrid    : 2-way SRAM + 2-way STT-MRAM, no FUSE plumbing — a busy
+ *                STT-MRAM write blocks the whole L1D.
+ *  - Base-FUSE : Hybrid + swap buffer + tag queue (non-blocking STT bank).
+ *  - FA-FUSE   : Base-FUSE + approximated fully-associative STT bank
+ *                (CBF-guided serialized tag search, FIFO replacement).
+ *  - Dy-FUSE   : FA-FUSE + read-level predictor placement (WM -> SRAM,
+ *                WORM/neutral -> STT-MRAM, WORO -> bypass to L2).
+ */
+
+#ifndef FUSE_FUSE_HYBRID_L1D_HH
+#define FUSE_FUSE_HYBRID_L1D_HH
+
+#include <memory>
+
+#include "cache/mshr.hh"
+#include "fuse/assoc_approx.hh"
+#include "fuse/cache_bank.hh"
+#include "fuse/l1d.hh"
+#include "fuse/predictor.hh"
+#include "fuse/swap_buffer.hh"
+#include "fuse/tag_queue.hh"
+
+namespace fuse
+{
+
+/** Feature switches + geometry for the hybrid family. */
+struct HybridL1DConfig
+{
+    std::uint32_t sramBytes = 16 * 1024;   ///< Table I hybrid split.
+    std::uint32_t sramWays = 2;
+    std::uint32_t sttBytes = 64 * 1024;
+    std::uint32_t sttWays = 2;
+
+    bool nonBlocking = false;      ///< Swap buffer + tag queue (Base-FUSE+).
+    bool approxFullAssoc = false;  ///< Approximated full assoc. (FA-FUSE+).
+    bool usePredictor = false;     ///< Read-level placement (Dy-FUSE).
+
+    std::uint32_t mshrEntries = 32;
+    std::uint32_t tagQueueEntries = 16;   ///< Table I: request queue 16.
+    std::uint32_t swapBufferEntries = 3;  ///< Table I: 3 swap entries.
+
+    PredictorConfig predictor;
+    AssocApproxConfig approx;
+
+    /** The organisation these switches add up to. */
+    L1DKind kindOf() const;
+};
+
+/** The FUSE hybrid L1D cache controller. */
+class HybridL1D : public L1DCache
+{
+  public:
+    HybridL1D(const HybridL1DConfig &config, MemoryHierarchy &hierarchy);
+
+    L1DResult access(const MemRequest &req, Cycle now) override;
+    void tick(Cycle now) override;
+    L1DKind kind() const override { return config_.kindOf(); }
+
+    CacheBank &sramBank() { return sram_; }
+    CacheBank &sttBank() { return stt_; }
+    ReadLevelPredictor &predictor() { return predictor_; }
+    TagQueue &tagQueue() { return tagQueue_; }
+    SwapBuffer &swapBuffer() { return swapBuffer_; }
+    AssocApprox *approx() { return approx_.get(); }
+    Mshr &mshr() { return mshr_; }
+
+    const HybridL1DConfig &config() const { return config_; }
+
+  private:
+    /** Serialized STT tag-search cost at @p now (1 cycle when set-assoc). */
+    std::uint32_t sttSearchCycles(Addr line, bool present);
+
+    /** Handle a hit in the STT-MRAM bank per the decision tree. */
+    L1DResult sttHit(const MemRequest &req, Cycle now);
+
+    /** Allocate a missing line according to the placement policy. */
+    L1DResult handleMiss(const MemRequest &req, Cycle now);
+
+    /** Fill @p req's line into the SRAM bank, migrating the victim. */
+    bool fillSram(const MemRequest &req, Cycle now);
+
+    /** Fill @p req's line into the STT-MRAM bank. */
+    bool fillStt(const MemRequest &req, Cycle now);
+
+    /** Evict @p line out of the L1D (write-back to L2 if dirty). */
+    void evictToL2(const CacheLine &line, SmId sm, Cycle now);
+
+    /** Record predictor accuracy for a block leaving the L1D. */
+    void recordLineOutcome(const CacheLine &line);
+
+    /** Migrate an SRAM victim towards the STT bank (swap buffer path). */
+    bool migrateToStt(const CacheLine &victim, SmId sm, Cycle now);
+
+    /**
+     * Flush the tag queue for a payload write, then re-queue a Migrate
+     * command for every line still parked in the swap buffer (their data
+     * survives the flush; only the meta entries were dropped).
+     */
+    void flushTagQueue(Cycle now);
+
+    HybridL1DConfig config_;
+    CacheBank sram_;
+    CacheBank stt_;
+    Mshr mshr_;
+    TagQueue tagQueue_;
+    SwapBuffer swapBuffer_;
+    ReadLevelPredictor predictor_;
+    std::unique_ptr<AssocApprox> approx_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_FUSE_HYBRID_L1D_HH

@@ -1,0 +1,65 @@
+#include "fuse/l1d.hh"
+
+namespace fuse
+{
+
+const char *
+toString(L1DKind kind)
+{
+    switch (kind) {
+      case L1DKind::L1Sram: return "L1-SRAM";
+      case L1DKind::FaSram: return "FA-SRAM";
+      case L1DKind::ByNvm: return "By-NVM";
+      case L1DKind::PureNvm: return "STT-MRAM";
+      case L1DKind::Hybrid: return "Hybrid";
+      case L1DKind::BaseFuse: return "Base-FUSE";
+      case L1DKind::FaFuse: return "FA-FUSE";
+      case L1DKind::DyFuse: return "Dy-FUSE";
+      case L1DKind::Oracle: return "Oracle";
+    }
+    return "?";
+}
+
+const char *
+toString(ReadLevel level)
+{
+    switch (level) {
+      case ReadLevel::WM: return "WM";
+      case ReadLevel::ReadIntensive: return "read-intensive";
+      case ReadLevel::WORM: return "WORM";
+      case ReadLevel::WORO: return "WORO";
+    }
+    return "?";
+}
+
+void
+L1DCache::countHit(const MemRequest &req)
+{
+    ++(*statHits_);
+    ++(*(req.isWrite() ? statWriteHits_ : statReadHits_));
+}
+
+void
+L1DCache::countMiss(const MemRequest &req)
+{
+    ++(*statMisses_);
+    ++(*(req.isWrite() ? statWriteMisses_ : statReadMisses_));
+}
+
+void
+L1DCache::countBypass(const MemRequest &req)
+{
+    ++(*statBypasses_);
+    ++(*(req.isWrite() ? statWriteBypasses_ : statReadBypasses_));
+}
+
+double
+L1DCache::missRate() const
+{
+    const double hits = stats_.get("hits");
+    const double misses = stats_.get("misses") + stats_.get("bypasses");
+    const double total = hits + misses;
+    return total > 0 ? misses / total : 0.0;
+}
+
+} // namespace fuse

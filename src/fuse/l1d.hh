@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The L1D cache interface every organisation implements (L1-SRAM, FA-SRAM,
+ * By-NVM, Hybrid, Base-FUSE, FA-FUSE, Dy-FUSE, Oracle). The SM model talks
+ * only to this interface; the factory in l1d_factory.hh builds the concrete
+ * organisation from a SimConfig.
+ */
+
+#ifndef FUSE_FUSE_L1D_HH
+#define FUSE_FUSE_L1D_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/hierarchy.hh"
+#include "mem/request.hh"
+
+namespace fuse
+{
+
+/** The seven evaluated L1D organisations plus the Oracle motivation config. */
+enum class L1DKind : std::uint8_t
+{
+    L1Sram,     ///< 4-way set-associative SRAM baseline (GTX480-like).
+    FaSram,     ///< Idealised fully-associative SRAM (circuit-infeasible).
+    ByNvm,      ///< Pure STT-MRAM with dead-write bypass (DASCA-style).
+    PureNvm,    ///< Pure STT-MRAM, no bypass ("STT-MRAM GPU" of Fig. 3).
+    Hybrid,     ///< 2-way SRAM + 2-way STT-MRAM, no FUSE plumbing.
+    BaseFuse,   ///< Hybrid + swap buffer + tag queue.
+    FaFuse,     ///< Base-FUSE + approximated fully-associative STT bank.
+    DyFuse,     ///< FA-FUSE + read-level predictor placement.
+    Oracle      ///< Infinite, 1-cycle L1D (motivation only).
+};
+
+const char *toString(L1DKind kind);
+
+/** Outcome of presenting one transaction to the L1D. */
+struct L1DResult
+{
+    enum class Kind : std::uint8_t
+    {
+        Hit,      ///< Serviced on chip; data ready at readyAt.
+        Miss,     ///< Sent off chip (or merged); data ready at readyAt.
+        Stall     ///< Structural hazard (MSHR full, bank busy): retry.
+    };
+    Kind kind = Kind::Stall;
+    Cycle readyAt = 0;
+};
+
+/**
+ * Base class for all L1D organisations. Non-blocking by contract: access()
+ * never blocks the caller; a Stall result tells the SM to retry next cycle
+ * (and is what the paper counts as an L1D stall).
+ */
+class L1DCache
+{
+  public:
+    L1DCache(std::string name, MemoryHierarchy &hierarchy)
+        : stats_(std::move(name)), hierarchy_(&hierarchy)
+    {
+        statHits_ = &stats_.scalar("hits");
+        statReadHits_ = &stats_.scalar("read_hits");
+        statWriteHits_ = &stats_.scalar("write_hits");
+        statMisses_ = &stats_.scalar("misses");
+        statReadMisses_ = &stats_.scalar("read_misses");
+        statWriteMisses_ = &stats_.scalar("write_misses");
+        statBypasses_ = &stats_.scalar("bypasses");
+        statReadBypasses_ = &stats_.scalar("read_bypasses");
+        statWriteBypasses_ = &stats_.scalar("write_bypasses");
+    }
+    virtual ~L1DCache() = default;
+
+    L1DCache(const L1DCache &) = delete;
+    L1DCache &operator=(const L1DCache &) = delete;
+
+    /** Present one coalesced transaction at cycle @p now. */
+    virtual L1DResult access(const MemRequest &req, Cycle now) = 0;
+
+    /** Per-cycle housekeeping (tag-queue drain etc.). Default: none. */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /** Organisation identity (for reports). */
+    virtual L1DKind kind() const = 0;
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** hits / (hits + misses); bypassed accesses count as misses. */
+    double missRate() const;
+
+  protected:
+    /** Record a hit/miss in the common stats vocabulary. */
+    void countHit(const MemRequest &req);
+    void countMiss(const MemRequest &req);
+    void countBypass(const MemRequest &req);
+
+    StatGroup stats_;
+    MemoryHierarchy *hierarchy_;
+
+  private:
+    // Hot-path counters cached out of the string-keyed map.
+    StatGroup::Scalar *statHits_;
+    StatGroup::Scalar *statReadHits_;
+    StatGroup::Scalar *statWriteHits_;
+    StatGroup::Scalar *statMisses_;
+    StatGroup::Scalar *statReadMisses_;
+    StatGroup::Scalar *statWriteMisses_;
+    StatGroup::Scalar *statBypasses_;
+    StatGroup::Scalar *statReadBypasses_;
+    StatGroup::Scalar *statWriteBypasses_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_FUSE_L1D_HH

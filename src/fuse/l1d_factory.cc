@@ -1,0 +1,97 @@
+#include "fuse/l1d_factory.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "fuse/oracle_l1d.hh"
+
+namespace fuse
+{
+
+namespace
+{
+/** Round down to a whole number of cache lines, at least one. */
+std::uint32_t
+roundToLines(double bytes)
+{
+    auto lines = static_cast<std::uint32_t>(bytes / kLineSize);
+    return std::max<std::uint32_t>(1, lines) * kLineSize;
+}
+} // namespace
+
+std::uint32_t
+L1DParams::hybridSramBytes() const
+{
+    return roundToLines(areaBudgetBytes * sramAreaFraction);
+}
+
+std::uint32_t
+L1DParams::hybridSttBytes() const
+{
+    return roundToLines(areaBudgetBytes * (1.0 - sramAreaFraction)
+                        * sttDensity);
+}
+
+std::uint32_t
+L1DParams::pureNvmBytes() const
+{
+    return roundToLines(areaBudgetBytes * sttDensity);
+}
+
+std::unique_ptr<L1DCache>
+makeL1D(L1DKind kind, const L1DParams &params, MemoryHierarchy &hierarchy)
+{
+    switch (kind) {
+      case L1DKind::L1Sram: {
+        SramL1DConfig c;
+        c.sizeBytes = params.areaBudgetBytes;
+        c.numWays = params.baselineWays;
+        c.fullyAssociative = false;
+        c.mshrEntries = params.mshrEntries;
+        return std::make_unique<SramL1D>(c, hierarchy);
+      }
+      case L1DKind::FaSram: {
+        SramL1DConfig c;
+        c.sizeBytes = params.areaBudgetBytes;
+        c.fullyAssociative = true;
+        c.mshrEntries = params.mshrEntries;
+        return std::make_unique<SramL1D>(c, hierarchy);
+      }
+      case L1DKind::ByNvm:
+      case L1DKind::PureNvm: {
+        NvmL1DConfig c;
+        c.sizeBytes = params.pureNvmBytes();
+        c.numWays = params.nvmWays;
+        c.bypassDeadWrites = (kind == L1DKind::ByNvm);
+        c.mshrEntries = params.mshrEntries;
+        c.predictor = params.predictor;
+        return std::make_unique<NvmBypassL1D>(c, hierarchy);
+      }
+      case L1DKind::Hybrid:
+      case L1DKind::BaseFuse:
+      case L1DKind::FaFuse:
+      case L1DKind::DyFuse: {
+        HybridL1DConfig c;
+        c.sramBytes = params.hybridSramBytes();
+        c.sramWays = params.sramWays;
+        c.sttBytes = params.hybridSttBytes();
+        c.sttWays = params.sttWays;
+        c.nonBlocking = (kind != L1DKind::Hybrid);
+        c.approxFullAssoc =
+            (kind == L1DKind::FaFuse || kind == L1DKind::DyFuse);
+        c.usePredictor = (kind == L1DKind::DyFuse);
+        c.mshrEntries = params.mshrEntries;
+        c.tagQueueEntries = params.tagQueueEntries;
+        c.swapBufferEntries = params.swapBufferEntries;
+        c.predictor = params.predictor;
+        c.approx = params.approx;
+        return std::make_unique<HybridL1D>(c, hierarchy);
+      }
+      case L1DKind::Oracle:
+        return std::make_unique<OracleL1D>(hierarchy);
+    }
+    fuse_panic("unknown L1D kind");
+}
+
+} // namespace fuse

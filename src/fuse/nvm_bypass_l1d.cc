@@ -1,0 +1,98 @@
+#include "fuse/nvm_bypass_l1d.hh"
+
+#include <algorithm>
+
+namespace fuse
+{
+
+NvmBypassL1D::NvmBypassL1D(const NvmL1DConfig &config,
+                           MemoryHierarchy &hierarchy)
+    : L1DCache("l1d.nvm", hierarchy),
+      config_(config),
+      bank_(makeSttBankConfig(config.sizeBytes, config.numWays,
+                              /*fully_associative=*/false,
+                              ReplPolicy::LRU),
+            "l1d.nvm.bank"),
+      mshr_(config.mshrEntries, &stats_),
+      predictor_(config.predictor)
+{
+}
+
+double
+NvmBypassL1D::bypassRatio() const
+{
+    const double bypasses = stats_.get("bypasses");
+    const double total = stats_.get("hits") + stats_.get("misses")
+                         + bypasses;
+    return total > 0 ? bypasses / total : 0.0;
+}
+
+L1DResult
+NvmBypassL1D::access(const MemRequest &req, Cycle now)
+{
+    mshr_.retireReady(now);
+    if (!req.retry)
+        predictor_.observe(req);
+    const Addr line = req.line();
+
+    if (MshrEntry *inflight = mshr_.find(line)) {
+        countMiss(req);
+        ++stats_.scalar("mshr_secondary");
+        return {L1DResult::Kind::Miss,
+                std::max(now + 1, inflight->readyAt)};
+    }
+
+    // The single STT-MRAM bank blocks during MTJ writes: any access that
+    // arrives while a write is in flight stalls the L1D (no tag queue in
+    // this organisation).
+    if (bank_.busy(now)) {
+        stats_.scalar("stall_stt_busy") +=
+            static_cast<double>(bank_.busyUntil() - now);
+        return {L1DResult::Kind::Stall, bank_.busyUntil()};
+    }
+
+    Cycle done = 0;
+    if (bank_.access(line, req.type, now, &done)) {
+        countHit(req);
+        return {L1DResult::Kind::Hit, done};
+    }
+
+    // Miss. Dead-write bypassing (By-NVM): blocks predicted to die without
+    // re-reference skip the L1D entirely — the request is served by L2 and
+    // no line is allocated, sparing an MTJ fill write.
+    if (config_.bypassDeadWrites) {
+        ReadLevel level = predictor_.classify(req.pc);
+        if (level == ReadLevel::WORO) {
+            countBypass(req);
+            OffchipResult off = hierarchy_->access(req, now);
+            return {L1DResult::Kind::Miss, off.doneAt};
+        }
+    }
+
+    // Structural check first: a stalled access must be able to retry
+    // without having already booked off-chip bandwidth.
+    if (mshr_.full()) {
+        ++stats_.scalar("stall_mshr_full");
+        return {L1DResult::Kind::Stall,
+                std::max(now + 1, mshr_.minReadyAt())};
+    }
+    countMiss(req);
+    OffchipResult off = hierarchy_->access(req, now);
+    mshr_.access(line, off.doneAt, BankId::SttMram);
+
+    // The fill is an MTJ write: it occupies the bank for the write latency
+    // (applied at access time; the in-flight window is guarded by MSHR).
+    Cycle fill_done = 0;
+    auto eviction = bank_.fill(line, req.type, now, &fill_done);
+    if (eviction && eviction->line.dirty) {
+        MemRequest wb;
+        wb.addr = eviction->line.tag << kLineShift;
+        wb.smId = req.smId;
+        wb.type = AccessType::Write;
+        hierarchy_->writeback(wb, now);
+        ++stats_.scalar("writebacks");
+    }
+    return {L1DResult::Kind::Miss, off.doneAt};
+}
+
+} // namespace fuse

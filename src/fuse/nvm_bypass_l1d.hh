@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Pure STT-MRAM L1D organisations: By-NVM (dead-write bypass prediction in
+ * the style of DASCA, the configuration the paper evaluates) and the plain
+ * "STT-MRAM GPU" of the Fig. 3 motivation study (no bypass). Both enjoy 4x
+ * capacity at equal area but pay the 5-cycle write penalty — the bank
+ * blocks while an MTJ write is in flight, so write bursts stall the SM.
+ */
+
+#ifndef FUSE_FUSE_NVM_BYPASS_L1D_HH
+#define FUSE_FUSE_NVM_BYPASS_L1D_HH
+
+#include "cache/mshr.hh"
+#include "fuse/cache_bank.hh"
+#include "fuse/l1d.hh"
+#include "fuse/predictor.hh"
+
+namespace fuse
+{
+
+/** Configuration for a pure STT-MRAM L1D. */
+struct NvmL1DConfig
+{
+    std::uint32_t sizeBytes = 128 * 1024;  ///< Table I: 4x the 32KB budget.
+    std::uint32_t numWays = 4;
+    bool bypassDeadWrites = true;   ///< false => Fig. 3's "STT-MRAM GPU".
+    std::uint32_t mshrEntries = 32;
+    PredictorConfig predictor;      ///< Reused as a dead-write predictor.
+};
+
+/** Pure STT-MRAM L1D with optional dead-write bypassing. */
+class NvmBypassL1D : public L1DCache
+{
+  public:
+    NvmBypassL1D(const NvmL1DConfig &config, MemoryHierarchy &hierarchy);
+
+    L1DResult access(const MemRequest &req, Cycle now) override;
+    L1DKind kind() const override
+    {
+        return config_.bypassDeadWrites ? L1DKind::ByNvm : L1DKind::PureNvm;
+    }
+
+    /** Fraction of accesses bypassed to L2 (Table II's "Bypass ratio"). */
+    double bypassRatio() const;
+
+    CacheBank &bank() { return bank_; }
+    ReadLevelPredictor &predictor() { return predictor_; }
+
+  private:
+    NvmL1DConfig config_;
+    CacheBank bank_;
+    Mshr mshr_;
+    ReadLevelPredictor predictor_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_FUSE_NVM_BYPASS_L1D_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Oracle L1D: an idealised cache with enough capacity to eliminate
+ * thrashing entirely (only compulsory misses remain). Used by the paper's
+ * motivation study (Fig. 3, "Oracle GPU") as the upper bound.
+ */
+
+#ifndef FUSE_FUSE_ORACLE_L1D_HH
+#define FUSE_FUSE_ORACLE_L1D_HH
+
+#include <unordered_set>
+
+#include "fuse/l1d.hh"
+
+namespace fuse
+{
+
+/** Infinite-capacity, 1-cycle L1D: misses only on first touch. */
+class OracleL1D : public L1DCache
+{
+  public:
+    explicit OracleL1D(MemoryHierarchy &hierarchy)
+        : L1DCache("l1d.oracle", hierarchy)
+    {}
+
+    L1DResult access(const MemRequest &req, Cycle now) override;
+    L1DKind kind() const override { return L1DKind::Oracle; }
+
+  private:
+    std::unordered_set<Addr> resident_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_FUSE_ORACLE_L1D_HH

@@ -1,0 +1,60 @@
+#include "fuse/tag_queue.hh"
+
+namespace fuse
+{
+
+TagQueue::TagQueue(std::uint32_t capacity, StatGroup *stats)
+    : capacity_(capacity), stats_(stats)
+{
+}
+
+bool
+TagQueue::push(const TagQueueEntry &entry)
+{
+    if (full()) {
+        if (stats_)
+            ++stats_->scalar("tag_queue_full");
+        return false;
+    }
+    queue_.push_back(entry);
+    if (stats_)
+        ++stats_->scalar("tag_queue_pushes");
+    return true;
+}
+
+const TagQueueEntry *
+TagQueue::front() const
+{
+    return queue_.empty() ? nullptr : &queue_.front();
+}
+
+void
+TagQueue::pop()
+{
+    if (!queue_.empty())
+        queue_.pop_front();
+}
+
+std::uint32_t
+TagQueue::flush()
+{
+    auto dropped = static_cast<std::uint32_t>(queue_.size());
+    queue_.clear();
+    if (stats_) {
+        ++stats_->scalar("tag_queue_flushes");
+        stats_->scalar("tag_queue_flushed_entries") += dropped;
+    }
+    return dropped;
+}
+
+bool
+TagQueue::contains(Addr line_addr) const
+{
+    for (const auto &e : queue_) {
+        if (e.lineAddr == line_addr)
+            return true;
+    }
+    return false;
+}
+
+} // namespace fuse

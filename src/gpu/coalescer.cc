@@ -1,0 +1,28 @@
+#include "gpu/coalescer.hh"
+
+#include <algorithm>
+
+namespace fuse
+{
+
+std::vector<Addr>
+Coalescer::coalesce(const std::vector<Addr> &addresses)
+{
+    std::vector<Addr> lines;
+    lines.reserve(addresses.size());
+    for (Addr a : addresses) {
+        const Addr base = lineBase(a);
+        if (std::find(lines.begin(), lines.end(), base) == lines.end())
+            lines.push_back(base);
+    }
+    if (stats_) {
+        ++stats_->scalar("coalesce_instructions");
+        stats_->scalar("coalesce_transactions") +=
+            static_cast<double>(lines.size());
+        stats_->scalar("coalesce_lanes_merged") +=
+            static_cast<double>(addresses.size() - lines.size());
+    }
+    return lines;
+}
+
+} // namespace fuse

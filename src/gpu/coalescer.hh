@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Memory coalescer: collapses the per-thread addresses of one warp memory
+ * instruction into the minimal set of 128B transactions (§III-A: a warp's
+ * 32 4B lanes coalesce into one 128B request when contiguous; divergent
+ * warps emit several transactions).
+ */
+
+#ifndef FUSE_GPU_COALESCER_HH
+#define FUSE_GPU_COALESCER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fuse
+{
+
+/** Stateless coalescing with statistics. */
+class Coalescer
+{
+  public:
+    explicit Coalescer(StatGroup *stats = nullptr) : stats_(stats) {}
+
+    /**
+     * Deduplicate @p addresses to unique line-aligned transactions,
+     * preserving first-touch order (the LSU issues them serially).
+     */
+    std::vector<Addr> coalesce(const std::vector<Addr> &addresses);
+
+  private:
+    StatGroup *stats_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_GPU_COALESCER_HH

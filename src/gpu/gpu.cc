@@ -1,0 +1,105 @@
+#include "gpu/gpu.hh"
+
+#include "common/log.hh"
+
+namespace fuse
+{
+
+Gpu::Gpu(const GpuConfig &config, L1DKind l1d_kind, const L1DParams &l1d,
+         const BenchmarkSpec &benchmark)
+    : config_(config)
+{
+    NocConfig noc = config.noc;
+    noc.numSmPorts = config.numSms;
+    hierarchy_ = std::make_unique<MemoryHierarchy>(noc, config.l2,
+                                                   config.dram);
+
+    sms_.reserve(config.numSms);
+    for (SmId s = 0; s < config.numSms; ++s) {
+        SmConfig sm_config;
+        sm_config.warpsPerSm = config.warpsPerSm;
+        sm_config.scheduler = config.scheduler;
+        sm_config.instructionBudget = config.instructionBudgetPerSm;
+        auto kernel = std::make_unique<KernelGenerator>(
+            benchmark, s, config.numSms, config.warpsPerSm,
+            config.traceSeed);
+        auto l1d_cache = makeL1D(l1d_kind, l1d, *hierarchy_);
+        sms_.push_back(std::make_unique<Sm>(s, sm_config,
+                                            std::move(l1d_cache),
+                                            std::move(kernel)));
+    }
+}
+
+Cycle
+Gpu::run()
+{
+    cycles_ = 0;
+    while (cycles_ < config_.maxCycles) {
+        bool all_done = true;
+        for (auto &sm : sms_) {
+            sm->tick(cycles_);
+            all_done &= sm->done();
+        }
+        ++cycles_;
+        if (all_done)
+            break;
+    }
+    if (cycles_ >= config_.maxCycles)
+        fuse_warn("simulation hit the %llu-cycle safety cap",
+                  static_cast<unsigned long long>(config_.maxCycles));
+    return cycles_;
+}
+
+double
+Gpu::ipc() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    double total = 0.0;
+    for (const auto &sm : sms_)
+        total += static_cast<double>(sm->instructionsIssued());
+    return total / static_cast<double>(cycles_) / sms_.size();
+}
+
+std::uint64_t
+Gpu::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sm : sms_)
+        total += sm->instructionsIssued();
+    return total;
+}
+
+double
+Gpu::l1dMissRate() const
+{
+    double hits = 0.0;
+    double misses = 0.0;
+    for (const auto &sm : sms_) {
+        const StatGroup &s = sm->l1d().stats();
+        hits += s.get("hits");
+        misses += s.get("misses") + s.get("bypasses");
+    }
+    const double total = hits + misses;
+    return total > 0 ? misses / total : 0.0;
+}
+
+double
+Gpu::sumL1dStat(const std::string &name) const
+{
+    double total = 0.0;
+    for (const auto &sm : sms_)
+        total += sm->l1d().stats().get(name);
+    return total;
+}
+
+double
+Gpu::sumSmStat(const std::string &name) const
+{
+    double total = 0.0;
+    for (const auto &sm : sms_)
+        total += sm->stats().get(name);
+    return total;
+}
+
+} // namespace fuse

@@ -1,0 +1,42 @@
+#include "gpu/scheduler.hh"
+
+namespace fuse
+{
+
+WarpScheduler::WarpScheduler(SchedPolicy policy, std::uint32_t num_warps)
+    : policy_(policy), numWarps_(num_warps)
+{
+}
+
+std::uint32_t
+WarpScheduler::pick(const std::vector<bool> &ready)
+{
+    switch (policy_) {
+      case SchedPolicy::GreedyThenOldest:
+        // Keep issuing the same warp while it stays ready, else fall
+        // through to the oldest (lowest-id) ready warp.
+        if (lastIssued_ < numWarps_ && ready[lastIssued_])
+            return lastIssued_;
+        for (std::uint32_t w = 0; w < numWarps_; ++w) {
+            if (ready[w])
+                return w;
+        }
+        return kNone;
+      case SchedPolicy::RoundRobin:
+      default:
+        for (std::uint32_t i = 1; i <= numWarps_; ++i) {
+            std::uint32_t w = (lastIssued_ + i) % numWarps_;
+            if (ready[w])
+                return w;
+        }
+        return kNone;
+    }
+}
+
+void
+WarpScheduler::issued(std::uint32_t warp)
+{
+    lastIssued_ = warp;
+}
+
+} // namespace fuse

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Warp schedulers: round-robin (GPGPU-Sim's "loose round robin" default)
+ * and greedy-then-oldest. The scheduler picks which ready warp issues each
+ * cycle; the choice shifts thrashing behaviour slightly but the FUSE
+ * results hold under both (the paper uses the simulator default).
+ */
+
+#ifndef FUSE_GPU_SCHEDULER_HH
+#define FUSE_GPU_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fuse
+{
+
+/** Scheduling policy. */
+enum class SchedPolicy : std::uint8_t { RoundRobin, GreedyThenOldest };
+
+/**
+ * Selects the next warp to issue among the ready set.
+ * Usage: call pick() with a predicate-evaluated readiness vector.
+ */
+class WarpScheduler
+{
+  public:
+    WarpScheduler(SchedPolicy policy, std::uint32_t num_warps);
+
+    /**
+     * Choose a warp. @p ready flags which warps can issue this cycle.
+     * @return warp id, or kNone when no warp is ready.
+     */
+    std::uint32_t pick(const std::vector<bool> &ready);
+
+    /** Notify that @p warp actually issued (updates policy state). */
+    void issued(std::uint32_t warp);
+
+    static constexpr std::uint32_t kNone = ~std::uint32_t(0);
+
+  private:
+    SchedPolicy policy_;
+    std::uint32_t numWarps_;
+    std::uint32_t lastIssued_ = 0;
+};
+
+} // namespace fuse
+
+#endif // FUSE_GPU_SCHEDULER_HH

@@ -1,0 +1,150 @@
+#include "gpu/sm.hh"
+
+#include <algorithm>
+
+namespace fuse
+{
+
+Sm::Sm(SmId id, const SmConfig &config, std::unique_ptr<L1DCache> l1d,
+       std::unique_ptr<KernelGenerator> kernel)
+    : id_(id), config_(config), l1d_(std::move(l1d)),
+      kernel_(std::move(kernel)),
+      coalescer_(&stats_),
+      scheduler_(config.scheduler, config.warpsPerSm),
+      warps_(config.warpsPerSm),
+      readyScratch_(config.warpsPerSm, false),
+      stats_("sm" + std::to_string(id))
+{
+    statIdle_ = &stats_.scalar("idle_cycles");
+    statMemWait_ = &stats_.scalar("mem_wait_cycles");
+    statL1dStall_ = &stats_.scalar("l1d_stall_cycles");
+    statCompute_ = &stats_.scalar("compute_instructions");
+    statMemInstr_ = &stats_.scalar("mem_instructions");
+    statTransactions_ = &stats_.scalar("l1d_transactions");
+    statTransactionsMissed_ = &stats_.scalar("l1d_transactions_missed");
+    statLoadBlock_ = &stats_.scalar("load_block_cycles");
+}
+
+void
+Sm::issueWarp(std::uint32_t w, Cycle now)
+{
+    WarpContext &warp = warps_[w];
+
+    if (!warp.hasPending) {
+        // Fetch the next instruction from the kernel.
+        warp.pending = kernel_->next(w);
+        warp.hasPending = true;
+        warp.nextTransaction = 0;
+        warp.maxFillReady = 0;
+        if (warp.pending.isMem) {
+            warp.pending.transactions =
+                coalescer_.coalesce(warp.pending.transactions);
+        }
+    }
+
+    WarpInstruction &instr = warp.pending;
+    if (!instr.isMem) {
+        ++instructionsIssued_;
+        ++(*statCompute_);
+        warp.hasPending = false;
+        warp.readyAt = now + 1;
+        scheduler_.issued(w);
+        return;
+    }
+
+    // Memory instruction: the LSU issues one coalesced transaction per
+    // cycle; an L1D structural stall blocks the LSU for this cycle (the
+    // paper's L1D stall).
+    MemRequest req;
+    req.addr = instr.transactions[warp.nextTransaction];
+    req.pc = instr.pc;
+    req.smId = id_;
+    req.warpId = w;
+    req.type = instr.type;
+    req.retry = warp.stalledTransaction;
+
+    L1DResult result = l1d_->access(req, now);
+    if (result.kind == L1DResult::Kind::Stall) {
+        // The warp parks at this transaction until the structural hazard
+        // clears; the wait counts as L1D stall cycles.
+        const Cycle retry = std::max(now + 1, result.readyAt);
+        (*statL1dStall_) += static_cast<double>(retry - now);
+        warp.readyAt = retry;
+        warp.stalledTransaction = true;
+        scheduler_.issued(w);
+        return;
+    }
+    warp.stalledTransaction = false;
+
+    warp.maxFillReady = std::max(warp.maxFillReady, result.readyAt);
+    ++(*statTransactions_);
+    if (result.kind == L1DResult::Kind::Miss)
+        ++(*statTransactionsMissed_);
+    ++warp.nextTransaction;
+
+    if (warp.nextTransaction < instr.transactions.size()) {
+        // More transactions to issue next cycle.
+        warp.readyAt = now + 1;
+        scheduler_.issued(w);
+        return;
+    }
+
+    // Instruction complete. Loads block the warp until the data arrives
+    // (in-order pipeline, the consumer is the next instruction); stores
+    // are posted — the warp proceeds once the requests are accepted.
+    ++instructionsIssued_;
+    ++(*statMemInstr_);
+    warp.hasPending = false;
+    if (instr.type == AccessType::Read) {
+        warp.readyAt = std::max(now + 1, warp.maxFillReady);
+        if (warp.maxFillReady > now + 1) {
+            (*statLoadBlock_) +=
+                static_cast<double>(warp.maxFillReady - (now + 1));
+        }
+    } else {
+        warp.readyAt = now + 1;
+    }
+    scheduler_.issued(w);
+}
+
+void
+Sm::tick(Cycle now)
+{
+    l1d_->tick(now);
+    if (done())
+        return;
+
+    // Idle fast path: every warp is blocked until sleepUntil_, so skip
+    // the ready scan (it dominates simulation cost otherwise).
+    if (sleepUntil_ > now) {
+        ++(*statIdle_);
+        ++(*statMemWait_);
+        return;
+    }
+
+    bool any_ready = false;
+    Cycle min_ready = ~Cycle(0);
+    for (std::uint32_t w = 0; w < config_.warpsPerSm; ++w) {
+        const bool ready = warps_[w].readyAt <= now;
+        readyScratch_[w] = ready;
+        any_ready |= ready;
+        if (!ready)
+            min_ready = std::min(min_ready, warps_[w].readyAt);
+    }
+
+    if (!any_ready) {
+        sleepUntil_ = min_ready;
+        ++(*statIdle_);
+        ++(*statMemWait_);
+        return;
+    }
+
+    std::uint32_t w = scheduler_.pick(readyScratch_);
+    if (w == WarpScheduler::kNone) {
+        ++(*statIdle_);
+        return;
+    }
+    issueWarp(w, now);
+}
+
+} // namespace fuse

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Streaming multiprocessor model: an in-order issue pipeline over many
+ * resident warps, a load/store unit that serialises coalesced transactions
+ * into the private L1D, and memory-dependence blocking (a warp cannot run
+ * past an outstanding load). This is the GPGPU-Sim-shaped core the paper's
+ * evaluation stands on, reduced to what the memory system can observe.
+ */
+
+#ifndef FUSE_GPU_SM_HH
+#define FUSE_GPU_SM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "fuse/l1d.hh"
+#include "gpu/coalescer.hh"
+#include "gpu/scheduler.hh"
+#include "workload/generator.hh"
+
+namespace fuse
+{
+
+/** Per-SM runtime parameters. */
+struct SmConfig
+{
+    std::uint32_t warpsPerSm = 48;    ///< Table I.
+    SchedPolicy scheduler = SchedPolicy::RoundRobin;
+    /** Warp instructions this SM must retire before the kernel ends. */
+    std::uint64_t instructionBudget = 200000;
+};
+
+/** One SM: warps + scheduler + LSU + private L1D. */
+class Sm
+{
+  public:
+    Sm(SmId id, const SmConfig &config, std::unique_ptr<L1DCache> l1d,
+       std::unique_ptr<KernelGenerator> kernel);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** All warps retired their share of the instruction budget. */
+    bool done() const { return instructionsIssued_ >= config_.instructionBudget; }
+
+    std::uint64_t instructionsIssued() const { return instructionsIssued_; }
+    L1DCache &l1d() { return *l1d_; }
+    const L1DCache &l1d() const { return *l1d_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+    SmId id() const { return id_; }
+
+    /** IPC over @p cycles. */
+    double ipc(Cycle cycles) const
+    {
+        return cycles ? static_cast<double>(instructionsIssued_) / cycles
+                      : 0.0;
+    }
+
+  private:
+    struct WarpContext
+    {
+        Cycle readyAt = 0;          ///< Blocked until (dependences).
+        bool hasPending = false;    ///< Mid-way through a mem instruction.
+        WarpInstruction pending;
+        std::uint32_t nextTransaction = 0;
+        Cycle maxFillReady = 0;     ///< Latest load-data arrival.
+        bool stalledTransaction = false;  ///< Current txn is a retry.
+    };
+
+    /** Issue (or continue) warp @p w's instruction. */
+    void issueWarp(std::uint32_t w, Cycle now);
+
+    SmId id_;
+    SmConfig config_;
+    std::unique_ptr<L1DCache> l1d_;
+    std::unique_ptr<KernelGenerator> kernel_;
+    Coalescer coalescer_;
+    WarpScheduler scheduler_;
+    std::vector<WarpContext> warps_;
+    std::vector<bool> readyScratch_;
+    std::uint64_t instructionsIssued_ = 0;
+    /** No warp becomes ready before this cycle (idle fast path). */
+    Cycle sleepUntil_ = 0;
+    StatGroup stats_;
+
+    // Cached references for the per-cycle hot path (StatGroup::scalar is
+    // a map lookup; references stay valid for the group's lifetime).
+    StatGroup::Scalar *statIdle_;
+    StatGroup::Scalar *statMemWait_;
+    StatGroup::Scalar *statL1dStall_;
+    StatGroup::Scalar *statCompute_;
+    StatGroup::Scalar *statMemInstr_;
+    StatGroup::Scalar *statTransactions_;
+    StatGroup::Scalar *statTransactionsMissed_;
+    StatGroup::Scalar *statLoadBlock_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_GPU_SM_HH

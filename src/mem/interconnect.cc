@@ -1,0 +1,63 @@
+#include "mem/interconnect.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace fuse
+{
+
+Interconnect::Interconnect(const NocConfig &config)
+    : config_(config),
+      smInject_(config.numSmPorts, 0),
+      l2Eject_(config.numL2Ports, 0),
+      l2Inject_(config.numL2Ports, 0),
+      smEject_(config.numSmPorts, 0),
+      stats_("noc")
+{
+    if (config.numSmPorts == 0 || config.numL2Ports == 0)
+        fuse_fatal("NoC needs at least one SM port and one L2 port");
+    statPackets_ = &stats_.scalar("packets");
+    statSmToL2_ = &stats_.scalar("sm_to_l2");
+    statL2ToSm_ = &stats_.scalar("l2_to_sm");
+    statLatency_ = &stats_.average("latency");
+}
+
+Cycle
+Interconnect::traverse(std::vector<Cycle> &src_ports, std::uint32_t src,
+                       std::vector<Cycle> &dst_ports, std::uint32_t dst,
+                       Cycle now)
+{
+    // Win the injection port, fly across the fabric, win the ejection port.
+    Cycle inject_start = std::max(now, src_ports[src]);
+    src_ports[src] = inject_start + config_.packetCycles;
+
+    Cycle arrive_fabric =
+        inject_start + config_.packetCycles + config_.hopLatency;
+
+    Cycle eject_start = std::max(arrive_fabric, dst_ports[dst]);
+    dst_ports[dst] = eject_start + config_.packetCycles;
+
+    Cycle done = eject_start + config_.packetCycles;
+    ++(*statPackets_);
+    statLatency_->sample(static_cast<double>(done - now));
+    return done;
+}
+
+Cycle
+Interconnect::smToL2(std::uint32_t sm, std::uint32_t l2_bank, Cycle now)
+{
+    ++(*statSmToL2_);
+    return traverse(smInject_, sm % config_.numSmPorts,
+                    l2Eject_, l2_bank % config_.numL2Ports, now);
+}
+
+Cycle
+Interconnect::l2ToSm(std::uint32_t l2_bank, std::uint32_t sm, Cycle now)
+{
+    ++(*statL2ToSm_);
+    return traverse(l2Inject_, l2_bank % config_.numL2Ports,
+                    smEject_, sm % config_.numSmPorts, now);
+}
+
+} // namespace fuse

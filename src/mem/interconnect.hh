@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Butterfly interconnection network between SMs and L2 banks (paper §V:
+ * 27 nodes — 15 SMs + 12 L2 banks). Modelled as per-port injection/ejection
+ * bandwidth reservations plus a hop-count-based traversal latency: this
+ * captures the long round trip and the contention that makes off-chip
+ * references dominate execution time (Fig. 1a) without flit-level detail.
+ */
+
+#ifndef FUSE_MEM_INTERCONNECT_HH
+#define FUSE_MEM_INTERCONNECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fuse
+{
+
+/** Network parameters. */
+struct NocConfig
+{
+    std::uint32_t numSmPorts = 15;
+    std::uint32_t numL2Ports = 12;
+    /** Fixed one-way traversal latency (router pipeline x hops). */
+    std::uint32_t hopLatency = 18;
+    /** Cycles a 128B packet occupies an injection/ejection port
+     *  (32B flits on a 32B-wide port => 4 cycles). */
+    std::uint32_t packetCycles = 4;
+};
+
+/**
+ * Bandwidth-reserved butterfly NoC. traverse() books the source and
+ * destination ports and returns the arrival time of the packet.
+ */
+class Interconnect
+{
+  public:
+    explicit Interconnect(const NocConfig &config);
+
+    /** SM -> L2 direction. @return packet arrival time at the L2 bank. */
+    Cycle smToL2(std::uint32_t sm, std::uint32_t l2_bank, Cycle now);
+
+    /** L2 -> SM direction (fill responses). */
+    Cycle l2ToSm(std::uint32_t l2_bank, std::uint32_t sm, Cycle now);
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+    const NocConfig &config() const { return config_; }
+
+  private:
+    Cycle traverse(std::vector<Cycle> &src_ports, std::uint32_t src,
+                   std::vector<Cycle> &dst_ports, std::uint32_t dst,
+                   Cycle now);
+
+    NocConfig config_;
+    // Hot-path counters cached out of the string-keyed map.
+    StatGroup::Scalar *statPackets_;
+    StatGroup::Scalar *statSmToL2_;
+    StatGroup::Scalar *statL2ToSm_;
+    StatGroup::Average *statLatency_;
+    // Separate request/response virtual networks (GPU NoCs do this to
+    // avoid protocol deadlock); each has its own port reservations.
+    std::vector<Cycle> smInject_;
+    std::vector<Cycle> l2Eject_;
+    std::vector<Cycle> l2Inject_;
+    std::vector<Cycle> smEject_;
+    StatGroup stats_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_MEM_INTERCONNECT_HH

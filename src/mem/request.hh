@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The memory transaction descriptor that flows from the coalescer through
+ * the L1D, interconnect, L2, and DRAM models.
+ */
+
+#ifndef FUSE_MEM_REQUEST_HH
+#define FUSE_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fuse
+{
+
+/**
+ * One coalesced 128-byte memory transaction issued by a warp. Carries the
+ * PC (for the read-level predictor), the issuing warp/SM (for wakeup and
+ * NoC port selection), and the access type.
+ */
+struct MemRequest
+{
+    Addr addr = 0;          ///< Byte address (line-aligned by the coalescer).
+    Addr pc = 0;            ///< Program counter of the memory instruction.
+    SmId smId = 0;
+    WarpId warpId = 0;
+    AccessType type = AccessType::Read;
+    /** Re-issue of a transaction that previously hit a structural stall
+     *  (the LSU keeps it latched; predictors must not re-sample it). */
+    bool retry = false;
+
+    Addr line() const { return lineAddr(addr); }
+    bool isWrite() const { return type == AccessType::Write; }
+};
+
+} // namespace fuse
+
+#endif // FUSE_MEM_REQUEST_HH

@@ -1,0 +1,75 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fuse
+{
+
+void
+Report::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Report::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Report::print() const
+{
+    // Column widths.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto print_row = [&widths](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            std::printf("%-*s  ", static_cast<int>(widths[i]),
+                        cells[i].c_str());
+        std::printf("\n");
+    };
+    if (!header_.empty()) {
+        print_row(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        std::string rule(total, '-');
+        std::printf("%s\n", rule.c_str());
+    }
+    for (const auto &r : rows_)
+        print_row(r);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(std::max(v, 1e-12));
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace fuse

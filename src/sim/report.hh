@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table-rendering helpers shared by the bench binaries: fixed-width
+ * columns, geometric means, and normalisation utilities so every figure
+ * prints the same row/series layout the paper uses.
+ */
+
+#ifndef FUSE_SIM_REPORT_HH
+#define FUSE_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace fuse
+{
+
+/** A printable table: header + rows of cells. */
+class Report
+{
+  public:
+    explicit Report(std::string title) : title_(std::move(title)) {}
+
+    void header(std::vector<std::string> cells);
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns to stdout. */
+    void print() const;
+
+    const std::string &title() const { return title_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v with @p precision decimals. */
+std::string fmt(double v, int precision = 2);
+
+/** Geometric mean of positive values (zeros are clamped to epsilon). */
+double geomean(const std::vector<double> &values);
+
+} // namespace fuse
+
+#endif // FUSE_SIM_REPORT_HH

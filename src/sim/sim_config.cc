@@ -1,0 +1,70 @@
+#include "sim/sim_config.hh"
+
+#include <cstdlib>
+
+namespace fuse
+{
+
+namespace
+{
+/** Honour FUSE_FAST=1 for quick smoke runs of the bench suite. */
+std::uint64_t
+defaultBudget(std::uint64_t full)
+{
+    const char *fast = std::getenv("FUSE_FAST");
+    if (fast && fast[0] == '1')
+        return full / 8;
+    return full;
+}
+} // namespace
+
+SimConfig
+SimConfig::fermi()
+{
+    SimConfig c;
+    c.gpu.numSms = 15;
+    c.gpu.warpsPerSm = 48;
+    c.gpu.instructionBudgetPerSm = defaultBudget(30000);
+    c.gpu.noc.numSmPorts = 15;
+    c.gpu.noc.numL2Ports = 12;
+    c.gpu.l2.numBanks = 12;
+    c.gpu.l2.totalSizeBytes = 786 * 1024;
+    c.gpu.l2.numWays = 8;
+    c.gpu.dram.numChannels = 6;
+
+    c.l1d.areaBudgetBytes = 32 * 1024;
+    c.l1d.sramAreaFraction = 0.5;
+    return c;
+}
+
+SimConfig
+SimConfig::volta()
+{
+    SimConfig c = fermi();
+    c.gpu.numSms = 84;
+    c.gpu.noc.numSmPorts = 84;
+    c.gpu.noc.numL2Ports = 32;
+    c.gpu.l2.numBanks = 32;
+    c.gpu.l2.totalSizeBytes = 6 * 1024 * 1024;
+    // 900 GB/s HBM2: more channels, wider effective burst throughput.
+    c.gpu.dram.numChannels = 24;
+    c.gpu.dram.burstCycles = 2;
+    // Volta's L1 is configurable up to 128KB; the study uses 128KB.
+    c.l1d.areaBudgetBytes = 128 * 1024;
+    // Keep total simulated work comparable to the Fermi study.
+    c.gpu.instructionBudgetPerSm = defaultBudget(30000) / 4;
+    return c;
+}
+
+SimConfig
+SimConfig::testScale()
+{
+    SimConfig c = fermi();
+    c.gpu.numSms = 4;
+    c.gpu.noc.numSmPorts = 4;
+    c.gpu.warpsPerSm = 16;
+    c.gpu.instructionBudgetPerSm = 20000;
+    return c;
+}
+
+} // namespace fuse

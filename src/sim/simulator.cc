@@ -1,0 +1,94 @@
+#include "sim/simulator.hh"
+
+namespace fuse
+{
+
+Metrics
+Simulator::run(const std::string &benchmark, L1DKind kind) const
+{
+    return run(benchmarkByName(benchmark), kind);
+}
+
+Metrics
+Simulator::run(const BenchmarkSpec &benchmark, L1DKind kind) const
+{
+    Gpu gpu(config_.gpu, kind, config_.l1d, benchmark);
+    gpu.run();
+
+    Metrics m;
+    m.benchmark = benchmark.name;
+    m.l1dKind = kind;
+    m.cycles = gpu.cycles();
+    m.instructions = gpu.totalInstructions();
+    m.ipc = gpu.ipc();
+    m.l1dMissRate = gpu.l1dMissRate();
+
+    const double transactions = gpu.sumSmStat("l1d_transactions");
+    m.apki = m.instructions
+                 ? 1000.0 * transactions
+                       / static_cast<double>(m.instructions)
+                 : 0.0;
+
+    m.offchipRequests = gpu.hierarchy().offchipRequests();
+    const double hits = gpu.sumL1dStat("hits");
+    const double misses = gpu.sumL1dStat("misses");
+    const double bypasses = gpu.sumL1dStat("bypasses");
+    const double total_accesses = hits + misses + bypasses;
+    m.bypassRatio = total_accesses > 0 ? bypasses / total_accesses : 0.0;
+
+    m.sttStallCycles = gpu.sumL1dStat("stall_stt");
+    m.tagSearchStallCycles = gpu.sumL1dStat("stall_tag_search");
+    m.l1dStallCycles = gpu.sumSmStat("l1d_stall_cycles");
+
+    const double outcomes = gpu.sumL1dStat("outcomes");
+    (void)outcomes;
+    // Predictor accuracy lives in each HybridL1D's predictor stats; pull
+    // it via the L1D interface stats that HybridL1D mirrors there.
+    double pred_true = 0.0;
+    double pred_false = 0.0;
+    double pred_neutral = 0.0;
+    for (const auto &sm : gpu.sms()) {
+        if (auto *hybrid = dynamic_cast<HybridL1D *>(&sm->l1d())) {
+            const StatGroup &ps = hybrid->predictor().stats();
+            pred_true += ps.get("pred_true");
+            pred_false += ps.get("pred_false");
+            pred_neutral += ps.get("pred_neutral");
+        }
+    }
+    const double pred_total = pred_true + pred_false + pred_neutral;
+    if (pred_total > 0) {
+        m.predTrue = pred_true / pred_total;
+        m.predFalse = pred_false / pred_total;
+        m.predNeutral = pred_neutral / pred_total;
+    }
+
+    // mem_wait_cycles counts SM cycles with every warp blocked on memory
+    // (bounded by the cycle count); l1d_stall_cycles are per-warp wait
+    // durations and must not be mixed in.
+    const double cycles_total =
+        static_cast<double>(m.cycles) * static_cast<double>(
+            gpu.sms().size());
+    const double mem_wait = gpu.sumSmStat("mem_wait_cycles");
+    m.memWaitFraction = cycles_total > 0 ? mem_wait / cycles_total : 0.0;
+
+    // Split the off-chip round trip between network and DRAM using the
+    // hierarchy's accumulated per-request attributions.
+    auto &hier = const_cast<Gpu &>(gpu).hierarchy();
+    const double rt = hier.stats().average("round_trip").mean();
+    const double dram_lat = hier.dram().stats().average("service_latency")
+                                .mean();
+    const double dram_reqs = hier.dram().stats().get("requests");
+    const double all_reqs = hier.stats().get("requests");
+    if (rt > 0 && all_reqs > 0) {
+        const double dram_part =
+            dram_lat * (dram_reqs / all_reqs) / rt;
+        m.dramShare = std::min(1.0, dram_part);
+        m.networkShare = 1.0 - m.dramShare;
+    }
+
+    EnergyModel energy(config_.energy);
+    m.energy = energy.evaluate(gpu);
+    return m;
+}
+
+} // namespace fuse

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The 21 evaluated workloads (Table II): PolyBench, Rodinia, Parboil, and
+ * Mars kernels, each described as a weighted mix of access-pattern streams
+ * whose generated behaviour reproduces the published per-benchmark
+ * characteristics — APKI, By-NVM bypass ratio, read-level mix (Fig. 6),
+ * and memory (ir)regularity.
+ */
+
+#ifndef FUSE_WORKLOAD_BENCHMARKS_HH
+#define FUSE_WORKLOAD_BENCHMARKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/patterns.hh"
+
+namespace fuse
+{
+
+/** Benchmark suite of origin. */
+enum class Suite : std::uint8_t { PolyBench, Rodinia, Parboil, Mars };
+
+const char *toString(Suite suite);
+
+/** Full description of one synthetic kernel. */
+struct BenchmarkSpec
+{
+    std::string name;
+    Suite suite = Suite::PolyBench;
+    /** Memory accesses per kilo-instruction (Table II). Drives the ratio
+     *  of compute to memory warp instructions. */
+    double apki = 10.0;
+    /** The paper's published By-NVM bypass ratio (validation target). */
+    double publishedBypassRatio = 0.0;
+    /** Address streams composing the kernel. */
+    std::vector<StreamSpec> streams;
+
+    /** Expected 128B transactions per memory warp-instruction (driven by
+     *  the divergence of the stream mix). */
+    double avgTransactionsPerMemInstr() const;
+
+    /**
+     * Probability that a warp instruction is a memory instruction.
+     *
+     * APKI counts accesses per kilo *thread* instructions (GPGPU-Sim's
+     * accounting); one warp instruction covers 32 thread instructions, so
+     * the warp-level memory-instruction rate is
+     * APKI x 32 / 1000 / (transactions per memory instruction), capped
+     * below 1 for the extreme workloads (GEMM/SM, APKI > 100).
+     */
+    double memProbability() const;
+};
+
+/** All 21 Table II workloads, in the paper's listing order. */
+const std::vector<BenchmarkSpec> &allBenchmarks();
+
+/** Look up a benchmark by name (fatal if unknown). */
+const BenchmarkSpec &benchmarkByName(const std::string &name);
+
+/** The 7 memory-intensive workloads of the Fig. 3 motivation study. */
+std::vector<std::string> motivationWorkloads();
+
+/** The 9 PolyBench workloads used by the Fig. 18/20 sensitivity studies. */
+std::vector<std::string> sensitivityWorkloads();
+
+} // namespace fuse
+
+#endif // FUSE_WORKLOAD_BENCHMARKS_HH

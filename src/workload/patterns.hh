@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Memory access-pattern primitives used to compose synthetic GPU kernels.
+ * Each benchmark in benchmarks.hh is a weighted mix of these streams; the
+ * mix is tuned so the generated address/PC/read-write behaviour matches
+ * the per-benchmark characteristics the paper publishes (Table II APKI and
+ * bypass ratios, Fig. 6 read-level mix, regular vs irregular access).
+ */
+
+#ifndef FUSE_WORKLOAD_PATTERNS_HH
+#define FUSE_WORKLOAD_PATTERNS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace fuse
+{
+
+/**
+ * The pattern families observed in the paper's workloads:
+ *
+ * Stream         — each warp walks its private slice of a large array once
+ *                  (matrix rows in GEMM/ATAX, input images): coalesced,
+ *                  write-once-read-once at line granularity unless the
+ *                  footprint wraps.
+ * SharedReuse    — all warps repeatedly read a small shared structure (the
+ *                  vector x in ATAX/MVT/GESUMMV, filter taps in 2DCONV):
+ *                  WORM / read-intensive blocks.
+ * PrivateAccum   — read-modify-write on a small per-warp region (result
+ *                  vectors, MapReduce value accumulation in PVC/PVR/SS):
+ *                  write-multiple blocks.
+ * RandomIrregular— uncoalesced random accesses over a large footprint
+ *                  (inverted-index lookups, graph-ish irregularity):
+ *                  thrashing, divergent transactions.
+ * HotWorkingSet  — divergent accesses over a per-warp cluster of active
+ *                  lines that slowly churns through a larger region (the
+ *                  row/tile working sets of transposed matrix kernels):
+ *                  short per-warp reuse distance, but the 48-warp
+ *                  aggregate working set exceeds a small L1D — exactly
+ *                  the thrashing regime FUSE's extra capacity targets.
+ * Stencil        — neighbourhood walks re-touching adjacent lines
+ *                  (FDTD-2D, srad, pathfinder): short-distance reuse.
+ */
+enum class PatternKind : std::uint8_t
+{
+    Stream,
+    SharedReuse,
+    PrivateAccum,
+    RandomIrregular,
+    HotWorkingSet,
+    Stencil
+};
+
+const char *toString(PatternKind kind);
+
+/** One address stream inside a kernel. */
+struct StreamSpec
+{
+    PatternKind kind = PatternKind::Stream;
+    double weight = 1.0;        ///< Relative share of memory instructions.
+    double writeProb = 0.0;     ///< P(store) for an access in this stream.
+    std::uint64_t footprintLines = 4096;  ///< Region size in 128B lines.
+    std::uint32_t divergence = 1;  ///< Transactions per warp instruction.
+    std::uint32_t strideLines = 1; ///< Line stride for Stream walks.
+    /** HotWorkingSet: active lines per warp (aggregate per-SM working set
+     *  = warps x clusterLines). */
+    std::uint32_t clusterLines = 12;
+    /** HotWorkingSet: probability an access retires an active line and
+     *  admits a fresh one from the region (controls reuse per line). */
+    double churnProb = 0.08;
+    /** HotWorkingSet: probability a transaction re-touches the previous
+     *  line (a thread consuming consecutive words of the same 128B line
+     *  across loop iterations — the short-distance reuse the request
+     *  sampler observes). */
+    double repeatProb = 0.5;
+};
+
+/**
+ * Per-(warp, stream) cursor state plus the address-generation rules.
+ * Stateless across streams: the generator owns one per stream per warp.
+ */
+class PatternCursor
+{
+  public:
+    PatternCursor() = default;
+
+    /**
+     * Produce the next line-aligned transaction addresses for @p spec.
+     * @param spec       stream description.
+     * @param base       byte base address of the stream's region.
+     * @param warp       issuing warp (for slicing/private regions).
+     * @param total_warps warps sharing the stream.
+     * @param rng        deterministic generator owned by the warp.
+     * @param[out] out   transaction addresses (line-aligned), appended.
+     */
+    void generate(const StreamSpec &spec, Addr base, WarpId warp,
+                  std::uint32_t total_warps, Rng &rng,
+                  std::vector<Addr> &out);
+
+  private:
+    std::uint64_t cursor_ = 0;
+    bool pendingWrite_ = false;  ///< PrivateAccum alternates load/store.
+    bool initialized_ = false;   ///< SharedReuse random start applied.
+    std::vector<std::uint64_t> activeLines_;  ///< HotWorkingSet cluster.
+    std::uint64_t lastHotLine_ = ~std::uint64_t(0);  ///< Re-touch target.
+
+  public:
+    /** PrivateAccum: true when the cursor owes the store half of a RMW. */
+    bool pendingWrite() const { return pendingWrite_; }
+    void setPendingWrite(bool pending) { pendingWrite_ = pending; }
+    std::uint64_t position() const { return cursor_; }
+};
+
+} // namespace fuse
+
+#endif // FUSE_WORKLOAD_PATTERNS_HH

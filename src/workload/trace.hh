@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The warp-instruction abstraction produced by workload generators and
+ * consumed by the SM model. A memory instruction may expand into several
+ * coalesced 128B transactions when threads diverge.
+ */
+
+#ifndef FUSE_WORKLOAD_TRACE_HH
+#define FUSE_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fuse
+{
+
+/** Maximum transactions one warp memory instruction can expand into. */
+constexpr std::uint32_t kMaxTransactions = 32;
+
+/** One warp-level instruction. */
+struct WarpInstruction
+{
+    bool isMem = false;
+    AccessType type = AccessType::Read;
+    Addr pc = 0;
+    /** Line-aligned transaction addresses (empty for compute). */
+    std::vector<Addr> transactions;
+};
+
+} // namespace fuse
+
+#endif // FUSE_WORKLOAD_TRACE_HH

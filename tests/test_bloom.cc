@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit and property tests for the counting Bloom filter: the no-false-
+ * negative invariant, insert/remove symmetry, saturation safety, and the
+ * false-positive trends of Fig. 20.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cache/bloom.hh"
+#include "common/rng.hh"
+
+namespace fuse
+{
+namespace
+{
+
+TEST(Bloom, EmptyFilterRejectsEverything)
+{
+    CountingBloomFilter cbf(16, 3);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_FALSE(cbf.test(k));
+}
+
+TEST(Bloom, InsertedKeysAlwaysTestPositive)
+{
+    CountingBloomFilter cbf(64, 3);
+    for (std::uint64_t k = 0; k < 32; ++k)
+        cbf.insert(k * 977);
+    for (std::uint64_t k = 0; k < 32; ++k)
+        EXPECT_TRUE(cbf.test(k * 977));
+}
+
+TEST(Bloom, RemoveRestoresNegativeForSoleMember)
+{
+    CountingBloomFilter cbf(64, 3);
+    cbf.insert(42);
+    EXPECT_TRUE(cbf.test(42));
+    cbf.remove(42);
+    EXPECT_FALSE(cbf.test(42));
+}
+
+TEST(Bloom, DoubleInsertNeedsDoubleRemove)
+{
+    CountingBloomFilter cbf(64, 3);
+    cbf.insert(7);
+    cbf.insert(7);
+    cbf.remove(7);
+    EXPECT_TRUE(cbf.test(7));  // one copy still counted
+    cbf.remove(7);
+    EXPECT_FALSE(cbf.test(7));
+}
+
+TEST(Bloom, ClearResets)
+{
+    CountingBloomFilter cbf(32, 2);
+    cbf.insert(1);
+    cbf.insert(2);
+    cbf.clear();
+    EXPECT_FALSE(cbf.test(1));
+    EXPECT_FALSE(cbf.test(2));
+}
+
+TEST(Bloom, SaturationNeverCausesFalseNegative)
+{
+    // 2-bit counters saturate at 3; stuffing many keys through the same
+    // slots must never produce a false negative for resident keys.
+    CountingBloomFilter cbf(4, 2, 2);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        cbf.insert(k);
+        keys.push_back(k);
+    }
+    for (std::uint64_t k : keys)
+        EXPECT_TRUE(cbf.test(k));
+    EXPECT_GT(cbf.saturations(), 0u);
+    // Removing half the keys must keep the other half positive.
+    for (std::uint64_t k = 0; k < 32; ++k)
+        cbf.remove(k);
+    for (std::uint64_t k = 32; k < 64; ++k)
+        EXPECT_TRUE(cbf.test(k)) << k;
+}
+
+/** Property harness: churn a CBF against ground truth; false negatives
+ *  must be zero and the false-positive rate bounded. */
+struct CbfSweepParams
+{
+    std::uint32_t slots;
+    std::uint32_t hashes;
+    double maxFpr;  ///< Generous bound; Fig. 20 trends are checked below.
+};
+
+class CbfAccuracy : public ::testing::TestWithParam<CbfSweepParams>
+{};
+
+double
+churn(std::uint32_t slots, std::uint32_t hashes, std::uint64_t seed = 17)
+{
+    // Operating point from the paper: each CBF guards one small data set
+    // (4 lines of the 512-line STT bank per partition with 128 CBFs), so
+    // the filter runs at a low load factor and 2-bit counters rarely
+    // saturate.
+    CountingBloomFilter cbf(slots, hashes);
+    BloomAccuracy acc;
+    std::unordered_set<std::uint64_t> truth;
+    Rng rng(seed);
+    std::uint64_t last_saturations = 0;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t key = rng.below(4096);
+        double action = rng.uniform();
+        if (action < 0.4 && truth.size() < 4) {
+            if (!truth.count(key)) {
+                cbf.insert(key);
+                truth.insert(key);
+            }
+        } else if (action < 0.6 && !truth.empty()) {
+            std::uint64_t victim = *truth.begin();
+            cbf.remove(victim);
+            truth.erase(victim);
+            // Mirror the approximation logic's saturation refresh: a
+            // pinned counter cannot be decremented, so rebuild from the
+            // resident set (see AssocApprox::refresh).
+            if (cbf.saturations() != last_saturations) {
+                cbf.clear();
+                for (std::uint64_t k : truth)
+                    cbf.insert(k);
+                last_saturations = cbf.saturations();
+            }
+        } else {
+            bool predicted = cbf.test(key);
+            bool actual = truth.count(key) != 0;
+            acc.record(predicted, actual);
+            EXPECT_FALSE(!predicted && actual) << "false negative!";
+        }
+    }
+    EXPECT_EQ(acc.falseNegatives(), 0u);
+    return acc.falsePositiveRate();
+}
+
+TEST_P(CbfAccuracy, NoFalseNegativesAndBoundedFalsePositives)
+{
+    const auto &p = GetParam();
+    double fpr = churn(p.slots, p.hashes);
+    EXPECT_LE(fpr, p.maxFpr) << p.slots << " slots, " << p.hashes
+                             << " hashes";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig20Configs, CbfAccuracy,
+    ::testing::Values(CbfSweepParams{16, 1, 0.35},
+                      CbfSweepParams{16, 3, 0.20},
+                      CbfSweepParams{32, 1, 0.20},
+                      CbfSweepParams{32, 3, 0.06},
+                      CbfSweepParams{64, 3, 0.02},
+                      CbfSweepParams{128, 3, 0.005},
+                      CbfSweepParams{128, 5, 0.005}));
+
+/** Fig. 20a trend: more hash functions => fewer false positives (at the
+ *  paper's load factor; the trend holds for adequately sized filters). */
+TEST(BloomTrend, MoreHashesReduceFalsePositives)
+{
+    double f1 = churn(64, 1);
+    double f3 = churn(64, 3);
+    EXPECT_LT(f3, f1);
+}
+
+/** Fig. 20b trend: more slots => fewer false positives. */
+TEST(BloomTrend, MoreSlotsReduceFalsePositives)
+{
+    double s32 = churn(32, 3);
+    double s128 = churn(128, 3);
+    EXPECT_LE(s128, s32);
+}
+
+TEST(BloomAccuracyTracker, CountsCorrectly)
+{
+    BloomAccuracy acc;
+    acc.record(true, true);    // true positive
+    acc.record(true, false);   // false positive
+    acc.record(false, false);  // true negative
+    EXPECT_EQ(acc.tests(), 3u);
+    EXPECT_EQ(acc.falsePositives(), 1u);
+    EXPECT_DOUBLE_EQ(acc.falsePositiveRate(), 1.0 / 3.0);
+}
+
+} // namespace
+} // namespace fuse

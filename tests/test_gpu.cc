@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the GPU model: coalescer, warp scheduler, SM issue/stall
+ * behaviour, and the top-level Gpu tick loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/coalescer.hh"
+#include "gpu/gpu.hh"
+#include "gpu/scheduler.hh"
+#include "sim/sim_config.hh"
+
+namespace fuse
+{
+namespace
+{
+
+TEST(Coalescer, MergesSameLineLanes)
+{
+    Coalescer c;
+    std::vector<Addr> lanes = {0, 4, 8, 64, 127, 128, 256};
+    auto lines = c.coalesce(lanes);
+    // Lines 0, 128, 256 remain.
+    EXPECT_EQ(lines, (std::vector<Addr>{0, 128, 256}));
+}
+
+TEST(Coalescer, PreservesFirstTouchOrder)
+{
+    Coalescer c;
+    std::vector<Addr> lanes = {256, 0, 300, 128, 4};
+    auto lines = c.coalesce(lanes);
+    EXPECT_EQ(lines, (std::vector<Addr>{256, 0, 128}));
+}
+
+TEST(Coalescer, StatsCountMergedLanes)
+{
+    StatGroup stats("sm");
+    Coalescer c(&stats);
+    c.coalesce({0, 4, 8});
+    EXPECT_DOUBLE_EQ(stats.get("coalesce_transactions"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("coalesce_lanes_merged"), 2.0);
+}
+
+TEST(Scheduler, RoundRobinRotates)
+{
+    WarpScheduler sched(SchedPolicy::RoundRobin, 4);
+    std::vector<bool> ready = {true, true, true, true};
+    std::uint32_t w0 = sched.pick(ready);
+    sched.issued(w0);
+    std::uint32_t w1 = sched.pick(ready);
+    EXPECT_NE(w0, w1);
+}
+
+TEST(Scheduler, SkipsNotReadyWarps)
+{
+    WarpScheduler sched(SchedPolicy::RoundRobin, 4);
+    std::vector<bool> ready = {false, false, true, false};
+    EXPECT_EQ(sched.pick(ready), 2u);
+}
+
+TEST(Scheduler, NoneWhenNothingReady)
+{
+    WarpScheduler sched(SchedPolicy::RoundRobin, 4);
+    std::vector<bool> ready(4, false);
+    EXPECT_EQ(sched.pick(ready), WarpScheduler::kNone);
+}
+
+TEST(Scheduler, GreedySticksToIssuingWarp)
+{
+    WarpScheduler sched(SchedPolicy::GreedyThenOldest, 4);
+    std::vector<bool> ready = {true, true, true, true};
+    std::uint32_t w = sched.pick(ready);
+    sched.issued(w);
+    EXPECT_EQ(sched.pick(ready), w);
+    ready[w] = false;
+    EXPECT_NE(sched.pick(ready), w);
+}
+
+GpuConfig
+tinyGpu()
+{
+    SimConfig c = SimConfig::testScale();
+    c.gpu.instructionBudgetPerSm = 5000;
+    return c.gpu;
+}
+
+TEST(Gpu, RunsToCompletion)
+{
+    Gpu gpu(tinyGpu(), L1DKind::L1Sram, L1DParams{},
+            benchmarkByName("2DCONV"));
+    Cycle cycles = gpu.run();
+    EXPECT_GT(cycles, 0u);
+    EXPECT_LT(cycles, tinyGpu().maxCycles);
+    EXPECT_EQ(gpu.totalInstructions(),
+              tinyGpu().numSms * tinyGpu().instructionBudgetPerSm);
+}
+
+TEST(Gpu, IpcBoundedByIssueWidth)
+{
+    Gpu gpu(tinyGpu(), L1DKind::Oracle, L1DParams{},
+            benchmarkByName("2DCONV"));
+    gpu.run();
+    EXPECT_GT(gpu.ipc(), 0.0);
+    EXPECT_LE(gpu.ipc(), 1.0);
+}
+
+TEST(Gpu, OracleBeatsBaselineOnMemoryBoundWork)
+{
+    Gpu base(tinyGpu(), L1DKind::L1Sram, L1DParams{},
+             benchmarkByName("ATAX"));
+    base.run();
+    Gpu oracle(tinyGpu(), L1DKind::Oracle, L1DParams{},
+               benchmarkByName("ATAX"));
+    oracle.run();
+    EXPECT_GT(oracle.ipc(), base.ipc());
+    EXPECT_LT(oracle.l1dMissRate(), base.l1dMissRate());
+}
+
+TEST(Gpu, DeterministicAcrossRuns)
+{
+    Gpu a(tinyGpu(), L1DKind::DyFuse, L1DParams{},
+          benchmarkByName("MVT"));
+    a.run();
+    Gpu b(tinyGpu(), L1DKind::DyFuse, L1DParams{},
+          benchmarkByName("MVT"));
+    b.run();
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_DOUBLE_EQ(a.l1dMissRate(), b.l1dMissRate());
+}
+
+TEST(Gpu, StatsAggregationSumsAcrossSms)
+{
+    Gpu gpu(tinyGpu(), L1DKind::L1Sram, L1DParams{},
+            benchmarkByName("2DCONV"));
+    gpu.run();
+    double manual = 0.0;
+    for (const auto &sm : gpu.sms())
+        manual += sm->stats().get("l1d_transactions");
+    EXPECT_DOUBLE_EQ(gpu.sumSmStat("l1d_transactions"), manual);
+    EXPECT_GT(manual, 0.0);
+}
+
+TEST(Gpu, MemoryBoundWorkloadWaitsOnMemory)
+{
+    Gpu gpu(tinyGpu(), L1DKind::L1Sram, L1DParams{},
+            benchmarkByName("ATAX"));
+    gpu.run();
+    const double waits = gpu.sumSmStat("mem_wait_cycles")
+                         + gpu.sumSmStat("l1d_stall_cycles");
+    EXPECT_GT(waits, 0.0);
+}
+
+} // namespace
+} // namespace fuse

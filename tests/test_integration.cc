@@ -1,0 +1,224 @@
+/**
+ * @file
+ * End-to-end integration tests through the Simulator facade: the paper's
+ * qualitative results must hold on reduced-scale runs — who wins, where
+ * the crossovers fall, and the headline invariants of each figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace fuse
+{
+namespace
+{
+
+SimConfig
+smallConfig()
+{
+    SimConfig c = SimConfig::fermi();
+    c.gpu.instructionBudgetPerSm = 20000;
+    return c;
+}
+
+class IntegrationFixture : public ::testing::Test
+{
+  protected:
+    IntegrationFixture() : sim_(smallConfig()) {}
+    Simulator sim_;
+};
+
+TEST_F(IntegrationFixture, MetricsArePopulated)
+{
+    Metrics m = sim_.run("ATAX", L1DKind::DyFuse);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_GT(m.instructions, 0u);
+    EXPECT_GT(m.ipc, 0.0);
+    EXPECT_GT(m.l1dMissRate, 0.0);
+    EXPECT_LT(m.l1dMissRate, 1.0);
+    EXPECT_GT(m.offchipRequests, 0u);
+    EXPECT_GT(m.energy.total(), 0.0);
+}
+
+TEST_F(IntegrationFixture, DyFuseBeatsBaselineOnIrregularWork)
+{
+    Metrics base = sim_.run("ATAX", L1DKind::L1Sram);
+    Metrics dy = sim_.run("ATAX", L1DKind::DyFuse);
+    EXPECT_GT(dy.ipc, base.ipc);
+    EXPECT_LT(dy.offchipRequests, base.offchipRequests)
+        << "FUSE must reduce outgoing references";
+}
+
+TEST_F(IntegrationFixture, DyFuseBeatsBaselineOnReuseHeavyWork)
+{
+    Metrics base = sim_.run("SYR2K", L1DKind::L1Sram);
+    Metrics dy = sim_.run("SYR2K", L1DKind::DyFuse);
+    EXPECT_GT(dy.ipc, 1.2 * base.ipc);
+}
+
+TEST_F(IntegrationFixture, ByNvmWinsOnReadsLosesGroundOnWrites)
+{
+    // Fig. 13's crossover: By-NVM helps irregular/read-heavy workloads
+    // but falls below the SRAM baseline on write-intensive 2MM.
+    Metrics atax_base = sim_.run("ATAX", L1DKind::L1Sram);
+    Metrics atax_nvm = sim_.run("ATAX", L1DKind::ByNvm);
+    EXPECT_GT(atax_nvm.ipc, atax_base.ipc);
+}
+
+TEST_F(IntegrationFixture, HybridFallsBelowBaseline)
+{
+    // The paper's strawman: a blocking hybrid loses to plain SRAM.
+    Metrics base = sim_.run("2DCONV", L1DKind::L1Sram);
+    Metrics hybrid = sim_.run("2DCONV", L1DKind::Hybrid);
+    EXPECT_LT(hybrid.ipc, base.ipc);
+}
+
+TEST_F(IntegrationFixture, DyFuseBeatsFaFuseBeatsHybrid)
+{
+    Metrics hybrid = sim_.run("ATAX", L1DKind::Hybrid);
+    Metrics fa = sim_.run("ATAX", L1DKind::FaFuse);
+    Metrics dy = sim_.run("ATAX", L1DKind::DyFuse);
+    EXPECT_GT(fa.ipc, hybrid.ipc);
+    EXPECT_GT(dy.ipc, fa.ipc);
+}
+
+TEST_F(IntegrationFixture, OracleUpperBoundsEveryOrganisation)
+{
+    Metrics oracle = sim_.run("BICG", L1DKind::Oracle);
+    for (L1DKind k : {L1DKind::L1Sram, L1DKind::ByNvm, L1DKind::Hybrid,
+                      L1DKind::DyFuse}) {
+        Metrics m = sim_.run("BICG", k);
+        EXPECT_GE(oracle.ipc * 1.05, m.ipc) << toString(k);
+    }
+}
+
+TEST_F(IntegrationFixture, PredictorAccuracyHigh)
+{
+    Metrics m = sim_.run("MVT", L1DKind::DyFuse);
+    const double decided = m.predTrue + m.predFalse;
+    ASSERT_GT(decided, 0.0);
+    EXPECT_GT(m.predTrue / decided, 0.8)
+        << "Fig. 16: decided predictions should be mostly correct";
+}
+
+TEST_F(IntegrationFixture, BaseFuseCutsSttStallsVsHybrid)
+{
+    Metrics hybrid = sim_.run("2DCONV", L1DKind::Hybrid);
+    Metrics base = sim_.run("2DCONV", L1DKind::BaseFuse);
+    ASSERT_GT(hybrid.sttStallCycles, 0.0);
+    EXPECT_LT(base.sttStallCycles, hybrid.sttStallCycles)
+        << "Fig. 15: the swap buffer + tag queue remove stalls";
+}
+
+TEST_F(IntegrationFixture, StallDecompositionOnlyForHybrids)
+{
+    Metrics sram = sim_.run("2DCONV", L1DKind::L1Sram);
+    EXPECT_DOUBLE_EQ(sram.sttStallCycles, 0.0);
+    EXPECT_DOUBLE_EQ(sram.tagSearchStallCycles, 0.0);
+}
+
+TEST_F(IntegrationFixture, ByNvmBypassRatioTracksStreamingIntensity)
+{
+    // Table II ordering: GESUM (0.96) streams nearly everything; SYR2K
+    // (0.02) reuses nearly everything.
+    Metrics gesum = sim_.run("GESUM", L1DKind::ByNvm);
+    Metrics syr2k = sim_.run("SYR2K", L1DKind::ByNvm);
+    EXPECT_GT(gesum.bypassRatio, syr2k.bypassRatio + 0.2);
+}
+
+TEST_F(IntegrationFixture, EnergyDecompositionConsistent)
+{
+    Metrics m = sim_.run("ATAX", L1DKind::L1Sram);
+    const double total = m.energy.total();
+    EXPECT_NEAR(m.energy.l1dTotal() + m.energy.offchip()
+                    + m.energy.compute + m.energy.smLeakage,
+                total, total * 1e-9);
+    EXPECT_GT(m.energy.offchipFraction(), 0.3)
+        << "Fig. 1b: off-chip dominates on irregular workloads";
+}
+
+TEST_F(IntegrationFixture, MemWaitFractionHighOnMemoryBoundWork)
+{
+    Metrics m = sim_.run("ATAX", L1DKind::L1Sram);
+    EXPECT_GT(m.memWaitFraction, 0.5)
+        << "Fig. 1a: off-chip accesses dominate execution time";
+}
+
+TEST_F(IntegrationFixture, VoltaPresetRuns)
+{
+    SimConfig volta = SimConfig::volta();
+    volta.gpu.instructionBudgetPerSm = 3000;
+    Simulator vsim(volta);
+    Metrics m = vsim.run("2DCONV", L1DKind::DyFuse);
+    EXPECT_GT(m.ipc, 0.0);
+    EXPECT_EQ(volta.gpu.numSms, 84u);
+}
+
+TEST_F(IntegrationFixture, RatioSweepCapacityTradeoff)
+{
+    // Fig. 18: more SRAM fraction shrinks total capacity => miss rate of
+    // 3/4 must exceed the 1/16 split on a capacity-sensitive workload.
+    SimConfig lo = smallConfig();
+    lo.l1d.sramAreaFraction = 1.0 / 16;
+    SimConfig hi = smallConfig();
+    hi.l1d.sramAreaFraction = 3.0 / 4;
+    Metrics m_lo = Simulator(lo).run("SYR2K", L1DKind::DyFuse);
+    Metrics m_hi = Simulator(hi).run("SYR2K", L1DKind::DyFuse);
+    EXPECT_LT(m_lo.l1dMissRate, m_hi.l1dMissRate);
+}
+
+/** Parameterised smoke sweep: every workload x key organisations runs
+ *  clean and produces sane metrics. */
+class AllWorkloads
+    : public ::testing::TestWithParam<std::tuple<std::string, L1DKind>>
+{};
+
+TEST_P(AllWorkloads, RunsAndProducesSaneMetrics)
+{
+    auto [name, kind] = GetParam();
+    SimConfig c = SimConfig::testScale();
+    c.gpu.instructionBudgetPerSm = 6000;
+    Simulator sim(c);
+    Metrics m = sim.run(name, kind);
+    EXPECT_GT(m.ipc, 0.0);
+    EXPECT_LE(m.ipc, 1.0);
+    EXPECT_GE(m.l1dMissRate, 0.0);
+    EXPECT_LE(m.l1dMissRate, 1.0);
+    EXPECT_EQ(m.instructions,
+              std::uint64_t(c.gpu.numSms) * c.gpu.instructionBudgetPerSm);
+}
+
+std::vector<std::tuple<std::string, L1DKind>>
+allCases()
+{
+    std::vector<std::tuple<std::string, L1DKind>> cases;
+    for (const auto &b : allBenchmarks()) {
+        for (L1DKind k : {L1DKind::L1Sram, L1DKind::ByNvm,
+                          L1DKind::DyFuse})
+            cases.emplace_back(b.name, k);
+    }
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<std::tuple<std::string, L1DKind>>
+             &info)
+{
+    std::string name = std::get<0>(info.param);
+    for (auto &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    switch (std::get<1>(info.param)) {
+      case L1DKind::L1Sram: return name + "_L1Sram";
+      case L1DKind::ByNvm: return name + "_ByNvm";
+      default: return name + "_DyFuse";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllWorkloads,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace fuse

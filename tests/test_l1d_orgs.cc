@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Behavioural tests for the L1D organisations: hit/miss protocol, the
+ * Hybrid blocking flaw, Base-FUSE's non-blocking plumbing, FA-FUSE's
+ * full-associativity, Dy-FUSE's predictor-driven placement/bypass, and
+ * By-NVM's dead-write bypassing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuse/hybrid_l1d.hh"
+#include "fuse/l1d_factory.hh"
+#include "fuse/nvm_bypass_l1d.hh"
+#include "fuse/oracle_l1d.hh"
+#include "common/rng.hh"
+#include "fuse/sram_l1d.hh"
+
+namespace fuse
+{
+namespace
+{
+
+class L1DFixture : public ::testing::Test
+{
+  protected:
+    L1DFixture() : hierarchy_(NocConfig{}, L2Config{}, DramConfig{}) {}
+
+    MemRequest
+    read(Addr line, Addr pc = 0x1000, WarpId warp = 0)
+    {
+        MemRequest r;
+        r.addr = line * kLineSize;
+        r.pc = pc;
+        r.warpId = warp;
+        r.type = AccessType::Read;
+        return r;
+    }
+
+    MemRequest
+    write(Addr line, Addr pc = 0x1004, WarpId warp = 0)
+    {
+        MemRequest r = read(line, pc, warp);
+        r.type = AccessType::Write;
+        return r;
+    }
+
+    /** Drive an access to completion, retrying stalls with ticks. */
+    L1DResult
+    drive(L1DCache &l1d, const MemRequest &req, Cycle &now)
+    {
+        L1DResult r = l1d.access(req, now);
+        int guard = 0;
+        while (r.kind == L1DResult::Kind::Stall && guard++ < 10000) {
+            now = std::max(now + 1, r.readyAt);
+            l1d.tick(now);
+            MemRequest retry = req;
+            retry.retry = true;
+            r = l1d.access(retry, now);
+        }
+        EXPECT_NE(r.kind, L1DResult::Kind::Stall);
+        return r;
+    }
+
+    MemoryHierarchy hierarchy_;
+};
+
+TEST_F(L1DFixture, SramMissThenHit)
+{
+    SramL1D l1d(SramL1DConfig{}, hierarchy_);
+    Cycle now = 0;
+    L1DResult miss = drive(l1d, read(5), now);
+    EXPECT_EQ(miss.kind, L1DResult::Kind::Miss);
+    EXPECT_GT(miss.readyAt, now + 10);  // off-chip round trip
+    now = miss.readyAt + 1;
+    L1DResult hit = drive(l1d, read(5), now);
+    EXPECT_EQ(hit.kind, L1DResult::Kind::Hit);
+    EXPECT_EQ(hit.readyAt, now + 1);
+}
+
+TEST_F(L1DFixture, SramInFlightLineStaysMissUntilFill)
+{
+    SramL1D l1d(SramL1DConfig{}, hierarchy_);
+    Cycle now = 0;
+    L1DResult primary = l1d.access(read(5), now);
+    ASSERT_EQ(primary.kind, L1DResult::Kind::Miss);
+    // A second access before the fill merges and must not "hit".
+    L1DResult secondary = l1d.access(read(5, 0x1000, 1), now + 2);
+    EXPECT_EQ(secondary.kind, L1DResult::Kind::Miss);
+    EXPECT_EQ(secondary.readyAt, primary.readyAt);
+    EXPECT_DOUBLE_EQ(l1d.stats().get("mshr_secondary"), 1.0);
+}
+
+TEST_F(L1DFixture, SramMshrFullStalls)
+{
+    SramL1DConfig config;
+    config.mshrEntries = 2;
+    SramL1D l1d(config, hierarchy_);
+    l1d.access(read(1), 0);
+    l1d.access(read(2), 0);
+    L1DResult r = l1d.access(read(3), 0);
+    EXPECT_EQ(r.kind, L1DResult::Kind::Stall);
+    EXPECT_GT(r.readyAt, 0u);  // retry hint points at the earliest fill
+}
+
+TEST_F(L1DFixture, FaSramIsFullyAssociative)
+{
+    SramL1DConfig config;
+    config.fullyAssociative = true;
+    SramL1D l1d(config, hierarchy_);
+    EXPECT_EQ(l1d.kind(), L1DKind::FaSram);
+    EXPECT_EQ(l1d.bank().tags().numSets(), 1u);
+    EXPECT_EQ(l1d.bank().tags().numWays(), 256u);  // 32KB / 128B
+    // Conflict-storm addresses (stride = #sets of the 64-set baseline)
+    // all fit simultaneously.
+    Cycle now = 0;
+    for (Addr i = 0; i < 200; ++i)
+        drive(l1d, read(i * 64), now);
+    now = 1000000;
+    std::uint32_t hits = 0;
+    for (Addr i = 0; i < 200; ++i) {
+        if (drive(l1d, read(i * 64), now).kind == L1DResult::Kind::Hit)
+            ++hits;
+    }
+    EXPECT_EQ(hits, 200u);
+}
+
+TEST_F(L1DFixture, OracleOnlyCompulsoryMisses)
+{
+    OracleL1D l1d(hierarchy_);
+    Cycle now = 0;
+    EXPECT_EQ(l1d.access(read(1), now).kind, L1DResult::Kind::Miss);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(l1d.access(read(1), ++now).kind, L1DResult::Kind::Hit);
+    EXPECT_EQ(l1d.access(read(2), now).kind, L1DResult::Kind::Miss);
+}
+
+TEST_F(L1DFixture, ByNvmBypassesTrainedDeadWrites)
+{
+    NvmL1DConfig config;
+    NvmBypassL1D l1d(config, hierarchy_);
+    Cycle now = 0;
+    // Train: a sampled warp (0) streams distinct lines, never reusing.
+    const Addr pc = 0x2000;
+    for (Addr line = 0; line < 3000; ++line) {
+        MemRequest r = read(100000 + line, pc, /*warp=*/0);
+        L1DResult res = l1d.access(r, now);
+        now = std::max(now + 1, res.readyAt);
+        l1d.tick(now);
+    }
+    EXPECT_GT(l1d.stats().get("bypasses"), 0.0);
+    EXPECT_GT(l1d.bypassRatio(), 0.3);
+}
+
+TEST_F(L1DFixture, PureNvmNeverBypasses)
+{
+    NvmL1DConfig config;
+    config.bypassDeadWrites = false;
+    NvmBypassL1D l1d(config, hierarchy_);
+    EXPECT_EQ(l1d.kind(), L1DKind::PureNvm);
+    Cycle now = 0;
+    for (Addr line = 0; line < 2000; ++line) {
+        L1DResult r = drive(l1d, read(line, 0x2000, 0), now);
+        now = std::max(now + 1, r.readyAt);
+    }
+    EXPECT_DOUBLE_EQ(l1d.stats().get("bypasses"), 0.0);
+}
+
+TEST_F(L1DFixture, ByNvmWritePenaltyBlocksL1D)
+{
+    NvmL1DConfig config;
+    config.bypassDeadWrites = false;
+    NvmBypassL1D l1d(config, hierarchy_);
+    Cycle now = 0;
+    drive(l1d, read(1), now);
+    now = 100000;
+    // A write hit occupies the MTJ array for 5 cycles...
+    L1DResult w = l1d.access(write(1), now);
+    EXPECT_EQ(w.kind, L1DResult::Kind::Hit);
+    // ...so an immediately following access stalls.
+    L1DResult r = l1d.access(read(1), now + 1);
+    EXPECT_EQ(r.kind, L1DResult::Kind::Stall);
+    EXPECT_GE(r.readyAt, now + 5);
+}
+
+HybridL1DConfig
+hybridConfig(L1DKind kind)
+{
+    HybridL1DConfig c;
+    c.nonBlocking = (kind != L1DKind::Hybrid);
+    c.approxFullAssoc = (kind == L1DKind::FaFuse || kind == L1DKind::DyFuse);
+    c.usePredictor = (kind == L1DKind::DyFuse);
+    return c;
+}
+
+TEST_F(L1DFixture, HybridBlocksWholeL1DDuringMigration)
+{
+    HybridL1D l1d(hybridConfig(L1DKind::Hybrid), hierarchy_);
+    Cycle now = 0;
+    // Fill the SRAM bank's set 0 (64 sets, 2 ways) and force an eviction:
+    // the migration write occupies the STT demand port.
+    drive(l1d, read(0), now);
+    now += 2000;
+    drive(l1d, read(64), now);
+    now += 2000;
+    drive(l1d, read(128), now);  // evicts line 0 -> STT write
+    // The next access, to an unrelated SRAM-resident line, stalls while
+    // the STT bank is busy.
+    L1DResult r = l1d.access(read(64), now + 1);
+    EXPECT_EQ(r.kind, L1DResult::Kind::Stall);
+    EXPECT_GT(l1d.stats().get("stall_stt"), 0.0);
+}
+
+TEST_F(L1DFixture, BaseFuseAbsorbsMigrationInSwapBuffer)
+{
+    HybridL1D l1d(hybridConfig(L1DKind::BaseFuse), hierarchy_);
+    Cycle now = 0;
+    drive(l1d, read(0), now);
+    now += 2000;
+    drive(l1d, read(64), now);
+    now += 2000;
+    drive(l1d, read(128), now);  // eviction parks in the swap buffer
+    EXPECT_GT(l1d.stats().get("migrations_sram_to_stt"), 0.0);
+    // SRAM hits proceed immediately despite the pending migration.
+    L1DResult r = l1d.access(read(64), now + 1);
+    EXPECT_EQ(r.kind, L1DResult::Kind::Hit);
+    // The migrated line is readable from the swap buffer (snoop path).
+    L1DResult parked = l1d.access(read(0), now + 2);
+    EXPECT_EQ(parked.kind, L1DResult::Kind::Hit);
+}
+
+TEST_F(L1DFixture, BaseFuseDrainsMigrationToStt)
+{
+    HybridL1D l1d(hybridConfig(L1DKind::BaseFuse), hierarchy_);
+    Cycle now = 0;
+    drive(l1d, read(0), now);
+    now += 2000;
+    drive(l1d, read(64), now);
+    now += 2000;
+    drive(l1d, read(128), now);
+    // Let the tag queue drain.
+    for (int i = 0; i < 50; ++i)
+        l1d.tick(now + i);
+    EXPECT_NE(l1d.sttBank().peek(0), nullptr)
+        << "victim must land in the STT bank";
+    EXPECT_TRUE(l1d.swapBuffer().empty());
+}
+
+TEST_F(L1DFixture, FaFuseHoldsConflictStorm)
+{
+    HybridL1D l1d(hybridConfig(L1DKind::FaFuse), hierarchy_);
+    Cycle now = 0;
+    // 300 stride-64 lines: a set-associative bank collapses them onto a
+    // few sets; the approximated fully-associative STT bank holds all.
+    for (Addr i = 0; i < 300; ++i) {
+        drive(l1d, read(i * 64), now);
+        now += 2000;
+    }
+    now += 100000;
+    std::uint32_t hits = 0;
+    for (Addr i = 0; i < 300; ++i) {
+        if (drive(l1d, read(i * 64), now).kind == L1DResult::Kind::Hit)
+            ++hits;
+        now += 10;
+    }
+    EXPECT_GT(hits, 250u);
+}
+
+TEST_F(L1DFixture, DyFuseBypassesWoroAndProtectsWm)
+{
+    HybridL1D l1d(hybridConfig(L1DKind::DyFuse), hierarchy_);
+    Cycle now = 0;
+    // Train a streaming PC (dead) and an accumulator PC (WM) via warp 0.
+    const Addr dead_pc = 0x3000;
+    const Addr wm_pc = 0x3100;
+    for (int i = 0; i < 3000; ++i) {
+        L1DResult r =
+            l1d.access(read(500000 + i, dead_pc, 0), now);
+        now = std::max(now + 1, r.kind == L1DResult::Kind::Stall
+                                    ? r.readyAt : now + 1);
+        l1d.tick(now);
+        MemRequest w = write(900000 + (i % 4), wm_pc, 0);
+        L1DResult wr = l1d.access(w, now);
+        now = std::max(now + 1, wr.kind == L1DResult::Kind::Stall
+                                    ? wr.readyAt : now + 1);
+        l1d.tick(now);
+    }
+    EXPECT_EQ(l1d.predictor().classify(dead_pc), ReadLevel::WORO);
+    EXPECT_EQ(l1d.predictor().classify(wm_pc), ReadLevel::WM);
+    EXPECT_GT(l1d.stats().get("bypasses"), 0.0);
+    // The hot WM lines live in SRAM, not STT.
+    EXPECT_NE(l1d.sramBank().peek(900000), nullptr);
+    EXPECT_EQ(l1d.sttBank().peek(900000), nullptr);
+}
+
+TEST_F(L1DFixture, DyFuseWriteHitOnSttMigratesToSram)
+{
+    HybridL1D l1d(hybridConfig(L1DKind::DyFuse), hierarchy_);
+    Cycle now = 0;
+    // A neutral-classified read miss fills STT (default placement).
+    drive(l1d, read(77), now);
+    now += 100000;
+    ASSERT_NE(l1d.sttBank().peek(77), nullptr);
+    // A write hit on STT data is a misprediction: migrate to SRAM.
+    L1DResult w = drive(l1d, write(77), now);
+    EXPECT_EQ(w.kind, L1DResult::Kind::Hit);
+    EXPECT_EQ(l1d.sttBank().peek(77), nullptr);
+    EXPECT_NE(l1d.sramBank().peek(77), nullptr);
+    EXPECT_DOUBLE_EQ(l1d.stats().get("migrations_stt_to_sram"), 1.0);
+}
+
+TEST_F(L1DFixture, SingleCopyInvariantAcrossBanks)
+{
+    HybridL1D l1d(hybridConfig(L1DKind::DyFuse), hierarchy_);
+    Cycle now = 0;
+    Rng rng(3);
+    for (int i = 0; i < 3000; ++i) {
+        Addr line = rng.below(600) * 16;
+        MemRequest req = rng.chance(0.3) ? write(line, 0x5004, 1)
+                                         : read(line, 0x5000, 1);
+        L1DResult r = l1d.access(req, now);
+        now = std::max(now + 1,
+                       r.kind == L1DResult::Kind::Stall ? r.readyAt
+                                                        : now + 1);
+        l1d.tick(now);
+        // Consistency (§III-A): at most one copy across SRAM/STT/swap.
+        int copies = (l1d.sramBank().peek(line) != nullptr)
+                     + (l1d.sttBank().peek(line) != nullptr)
+                     + (l1d.swapBuffer().find(line) != nullptr);
+        ASSERT_LE(copies, 1) << "line " << line << " duplicated";
+    }
+}
+
+TEST_F(L1DFixture, FactoryBuildsEveryKind)
+{
+    L1DParams params;
+    for (L1DKind kind :
+         {L1DKind::L1Sram, L1DKind::FaSram, L1DKind::ByNvm,
+          L1DKind::PureNvm, L1DKind::Hybrid, L1DKind::BaseFuse,
+          L1DKind::FaFuse, L1DKind::DyFuse, L1DKind::Oracle}) {
+        auto l1d = makeL1D(kind, params, hierarchy_);
+        ASSERT_NE(l1d, nullptr);
+        EXPECT_EQ(l1d->kind(), kind);
+    }
+}
+
+TEST_F(L1DFixture, FactoryAreaBudgetSplit)
+{
+    L1DParams params;
+    EXPECT_EQ(params.hybridSramBytes(), 16u * 1024);
+    EXPECT_EQ(params.hybridSttBytes(), 64u * 1024);
+    EXPECT_EQ(params.pureNvmBytes(), 128u * 1024);
+    params.sramAreaFraction = 0.25;
+    EXPECT_EQ(params.hybridSramBytes(), 8u * 1024);
+    EXPECT_EQ(params.hybridSttBytes(), 96u * 1024);
+}
+
+} // namespace
+} // namespace fuse

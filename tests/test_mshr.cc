@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the MSHR file: allocation, merging, destination bits,
+ * capacity stalls, and lazy retirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace fuse
+{
+namespace
+{
+
+TEST(Mshr, AllocatesNewMiss)
+{
+    Mshr mshr(4);
+    auto r = mshr.access(10, 100, BankId::Sram);
+    EXPECT_EQ(r.kind, MshrResult::Kind::NewMiss);
+    ASSERT_NE(r.entry, nullptr);
+    EXPECT_EQ(r.entry->readyAt, 100u);
+    EXPECT_EQ(r.entry->destination, BankId::Sram);
+}
+
+TEST(Mshr, MergesSecondaryMiss)
+{
+    Mshr mshr(4);
+    mshr.access(10, 100, BankId::Sram);
+    auto r = mshr.access(10, 120, BankId::Sram);
+    EXPECT_EQ(r.kind, MshrResult::Kind::Merged);
+    // Merged requests share the primary's fill time.
+    EXPECT_EQ(r.entry->readyAt, 100u);
+    EXPECT_EQ(r.entry->mergedCount, 1u);
+}
+
+TEST(Mshr, FullWhenAllEntriesInFlight)
+{
+    Mshr mshr(2);
+    mshr.access(1, 100, BankId::Sram);
+    mshr.access(2, 100, BankId::Sram);
+    auto r = mshr.access(3, 100, BankId::Sram);
+    EXPECT_EQ(r.kind, MshrResult::Kind::Full);
+    // But merging into an existing line still works at capacity.
+    auto merged = mshr.access(1, 200, BankId::Sram);
+    EXPECT_EQ(merged.kind, MshrResult::Kind::Merged);
+}
+
+TEST(Mshr, DestinationBitsPreserved)
+{
+    Mshr mshr(4);
+    mshr.access(1, 10, BankId::SttMram);
+    EXPECT_EQ(mshr.find(1)->destination, BankId::SttMram);
+    mshr.access(2, 10, BankId::Bypass);
+    EXPECT_EQ(mshr.find(2)->destination, BankId::Bypass);
+}
+
+TEST(Mshr, RetireFreesEntry)
+{
+    Mshr mshr(1);
+    mshr.access(1, 10, BankId::Sram);
+    EXPECT_TRUE(mshr.full());
+    mshr.retire(1);
+    EXPECT_FALSE(mshr.full());
+    EXPECT_EQ(mshr.find(1), nullptr);
+}
+
+TEST(Mshr, RetireReadyFreesOnlyElapsedEntries)
+{
+    Mshr mshr(4);
+    mshr.access(1, 10, BankId::Sram);
+    mshr.access(2, 20, BankId::Sram);
+    mshr.access(3, 30, BankId::Sram);
+    mshr.retireReady(20);
+    EXPECT_EQ(mshr.find(1), nullptr);
+    EXPECT_EQ(mshr.find(2), nullptr);
+    EXPECT_NE(mshr.find(3), nullptr);
+}
+
+TEST(Mshr, StatsCountMergesAndStalls)
+{
+    StatGroup stats("l1d");
+    Mshr mshr(1, &stats);
+    mshr.access(1, 10, BankId::Sram);
+    mshr.access(1, 10, BankId::Sram);
+    mshr.access(2, 10, BankId::Sram);
+    EXPECT_DOUBLE_EQ(stats.get("mshr_allocated"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("mshr_merged"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("mshr_full_stall"), 1.0);
+}
+
+/** Property: size never exceeds capacity under random traffic. */
+TEST(MshrProperty, BoundedSize)
+{
+    Mshr mshr(8);
+    for (Cycle t = 0; t < 1000; ++t) {
+        mshr.access(t % 23, t + 50, BankId::Sram);
+        if (t % 7 == 0)
+            mshr.retireReady(t);
+        EXPECT_LE(mshr.size(), mshr.capacity());
+    }
+}
+
+} // namespace
+} // namespace fuse

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the sim layer: Report formatting, geomean, SimConfig presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+#include "sim/sim_config.hh"
+
+namespace fuse
+{
+namespace
+{
+
+TEST(Report, FormatsNumbers)
+{
+    EXPECT_EQ(fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(fmt(1.0, 0), "1");
+    EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Report, GeomeanOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Report, GeomeanMixed)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+    EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-9);
+}
+
+TEST(Report, GeomeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Report, GeomeanClampsZeros)
+{
+    // Zeros are clamped to epsilon rather than producing -inf.
+    EXPECT_GT(geomean({0.0, 1.0}), 0.0);
+}
+
+TEST(SimConfig, FermiMatchesTableI)
+{
+    SimConfig c = SimConfig::fermi();
+    EXPECT_EQ(c.gpu.numSms, 15u);
+    EXPECT_EQ(c.gpu.warpsPerSm, 48u);
+    EXPECT_EQ(c.gpu.l2.numBanks, 12u);
+    EXPECT_EQ(c.gpu.l2.totalSizeBytes, 786u * 1024);
+    EXPECT_EQ(c.gpu.dram.numChannels, 6u);
+    EXPECT_EQ(c.gpu.dram.tCL, 12u);
+    EXPECT_EQ(c.gpu.dram.tRCD, 12u);
+    EXPECT_EQ(c.gpu.dram.tRAS, 28u);
+    EXPECT_EQ(c.l1d.areaBudgetBytes, 32u * 1024);
+    EXPECT_DOUBLE_EQ(c.l1d.sramAreaFraction, 0.5);
+    EXPECT_EQ(c.l1d.tagQueueEntries, 16u);
+    EXPECT_EQ(c.l1d.swapBufferEntries, 3u);
+    EXPECT_EQ(c.l1d.approx.numCbfs, 128u);
+    EXPECT_EQ(c.l1d.approx.numHashes, 3u);
+    EXPECT_EQ(c.l1d.predictor.unusedThreshold, 14u);
+    EXPECT_EQ(c.l1d.predictor.counterInit, 8u);
+}
+
+TEST(SimConfig, VoltaMatchesSectionVB)
+{
+    SimConfig c = SimConfig::volta();
+    EXPECT_EQ(c.gpu.numSms, 84u);
+    EXPECT_EQ(c.gpu.l2.totalSizeBytes, 6u * 1024 * 1024);
+    EXPECT_EQ(c.l1d.areaBudgetBytes, 128u * 1024);
+    EXPECT_GT(c.gpu.dram.numChannels,
+              SimConfig::fermi().gpu.dram.numChannels);
+}
+
+TEST(SimConfig, TestScaleIsSmaller)
+{
+    SimConfig c = SimConfig::testScale();
+    EXPECT_LT(c.gpu.numSms, SimConfig::fermi().gpu.numSms);
+    EXPECT_LT(c.gpu.instructionBudgetPerSm,
+              SimConfig::fermi().gpu.instructionBudgetPerSm);
+}
+
+} // namespace
+} // namespace fuse

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the tag queue (§IV-A): FIFO order, capacity, flush
+ * semantics, and membership checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuse/tag_queue.hh"
+
+namespace fuse
+{
+namespace
+{
+
+TagQueueEntry
+entry(TagCommand cmd, Addr line, Cycle at = 0)
+{
+    TagQueueEntry e;
+    e.command = cmd;
+    e.lineAddr = line;
+    e.enqueuedAt = at;
+    return e;
+}
+
+TEST(TagQueue, StartsEmpty)
+{
+    TagQueue q(16);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.front(), nullptr);
+}
+
+TEST(TagQueue, FifoOrder)
+{
+    TagQueue q(16);
+    q.push(entry(TagCommand::Read, 1));
+    q.push(entry(TagCommand::Migrate, 2));
+    q.push(entry(TagCommand::Fill, 3));
+    ASSERT_NE(q.front(), nullptr);
+    EXPECT_EQ(q.front()->lineAddr, 1u);
+    q.pop();
+    EXPECT_EQ(q.front()->lineAddr, 2u);
+    EXPECT_EQ(q.front()->command, TagCommand::Migrate);
+    q.pop();
+    EXPECT_EQ(q.front()->lineAddr, 3u);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TagQueue, RejectsWhenFull)
+{
+    StatGroup stats("l1d");
+    TagQueue q(2, &stats);
+    EXPECT_TRUE(q.push(entry(TagCommand::Read, 1)));
+    EXPECT_TRUE(q.push(entry(TagCommand::Read, 2)));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.push(entry(TagCommand::Read, 3)));
+    EXPECT_DOUBLE_EQ(stats.get("tag_queue_full"), 1.0);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(TagQueue, FlushDropsAllAndCounts)
+{
+    StatGroup stats("l1d");
+    TagQueue q(16, &stats);
+    for (Addr a = 0; a < 5; ++a)
+        q.push(entry(TagCommand::Read, a));
+    EXPECT_EQ(q.flush(), 5u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_DOUBLE_EQ(stats.get("tag_queue_flushes"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("tag_queue_flushed_entries"), 5.0);
+}
+
+TEST(TagQueue, ContainsChecksAllEntries)
+{
+    TagQueue q(16);
+    q.push(entry(TagCommand::Read, 10));
+    q.push(entry(TagCommand::Migrate, 20));
+    EXPECT_TRUE(q.contains(10));
+    EXPECT_TRUE(q.contains(20));
+    EXPECT_FALSE(q.contains(30));
+}
+
+TEST(TagQueue, PopOnEmptyIsSafe)
+{
+    TagQueue q(4);
+    q.pop();  // must not crash
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TagQueue, CapacityMatchesTableI)
+{
+    TagQueue q(16);
+    for (Addr a = 0; a < 16; ++a)
+        EXPECT_TRUE(q.push(entry(TagCommand::Read, a)));
+    EXPECT_FALSE(q.push(entry(TagCommand::Read, 99)));
+}
+
+} // namespace
+} // namespace fuse

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the workload subsystem: pattern cursors, the benchmark
+ * table (Table II coverage), and the kernel generator's determinism and
+ * statistical properties (APKI, write mix, read-level structure).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/benchmarks.hh"
+#include "workload/generator.hh"
+#include "workload/patterns.hh"
+
+namespace fuse
+{
+namespace
+{
+
+TEST(Benchmarks, AllTwentyOneTableIIWorkloadsPresent)
+{
+    const auto &all = allBenchmarks();
+    EXPECT_EQ(all.size(), 21u);
+    for (const char *name :
+         {"2DCONV", "2MM", "3MM", "ATAX", "BICG", "FDTD", "GEMM",
+          "GESUM", "MVT", "SYR2K", "cfd", "gaussian", "pathf", "srad_v1",
+          "histo", "mri-g", "II", "PVC", "PVR", "SS", "SM"}) {
+        EXPECT_NO_FATAL_FAILURE(benchmarkByName(name)) << name;
+    }
+}
+
+TEST(Benchmarks, SuitesCoverAllFour)
+{
+    std::unordered_set<int> suites;
+    for (const auto &b : allBenchmarks())
+        suites.insert(static_cast<int>(b.suite));
+    EXPECT_EQ(suites.size(), 4u);
+}
+
+TEST(Benchmarks, StreamWeightsArePositive)
+{
+    for (const auto &b : allBenchmarks()) {
+        ASSERT_FALSE(b.streams.empty()) << b.name;
+        for (const auto &s : b.streams)
+            EXPECT_GT(s.weight, 0.0) << b.name;
+    }
+}
+
+TEST(Benchmarks, MemProbabilityBounded)
+{
+    for (const auto &b : allBenchmarks()) {
+        EXPECT_GT(b.memProbability(), 0.0) << b.name;
+        EXPECT_LE(b.memProbability(), 0.85) << b.name;
+    }
+}
+
+TEST(Benchmarks, MotivationAndSensitivitySubsetsResolve)
+{
+    for (const auto &n : motivationWorkloads())
+        benchmarkByName(n);
+    for (const auto &n : sensitivityWorkloads())
+        benchmarkByName(n);
+    EXPECT_EQ(motivationWorkloads().size(), 7u);
+    EXPECT_EQ(sensitivityWorkloads().size(), 9u);
+}
+
+TEST(Generator, DeterministicAcrossInstances)
+{
+    const auto &spec = benchmarkByName("ATAX");
+    KernelGenerator a(spec, 0, 15, 48, 7);
+    KernelGenerator b(spec, 0, 15, 48, 7);
+    for (int i = 0; i < 2000; ++i) {
+        WarpId w = static_cast<WarpId>(i % 48);
+        WarpInstruction ia = a.next(w);
+        WarpInstruction ib = b.next(w);
+        ASSERT_EQ(ia.isMem, ib.isMem);
+        ASSERT_EQ(ia.pc, ib.pc);
+        ASSERT_EQ(ia.transactions, ib.transactions);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiverge)
+{
+    const auto &spec = benchmarkByName("ATAX");
+    KernelGenerator a(spec, 0, 15, 48, 1);
+    KernelGenerator b(spec, 0, 15, 48, 2);
+    int diffs = 0;
+    for (int i = 0; i < 2000; ++i) {
+        WarpInstruction ia = a.next(0);
+        WarpInstruction ib = b.next(0);
+        diffs += (ia.isMem != ib.isMem)
+                 || (ia.transactions != ib.transactions);
+    }
+    EXPECT_GT(diffs, 0);
+}
+
+TEST(Generator, TransactionsAreLineAligned)
+{
+    const auto &spec = benchmarkByName("GEMM");
+    KernelGenerator gen(spec, 3, 15, 48, 1);
+    for (int i = 0; i < 5000; ++i) {
+        WarpInstruction wi = gen.next(static_cast<WarpId>(i % 48));
+        for (Addr a : wi.transactions)
+            EXPECT_EQ(a % kLineSize, 0u);
+    }
+}
+
+TEST(Generator, ApkiRoughlyMatchesSpec)
+{
+    // Measured transactions per kilo-thread-instruction should land near
+    // the Table II target for a mid-APKI workload.
+    const auto &spec = benchmarkByName("MVT");  // APKI 64
+    KernelGenerator gen(spec, 0, 15, 48, 1);
+    std::uint64_t instrs = 0;
+    std::uint64_t transactions = 0;
+    for (int i = 0; i < 200000; ++i) {
+        WarpInstruction wi = gen.next(static_cast<WarpId>(i % 48));
+        ++instrs;
+        transactions += wi.transactions.size();
+    }
+    const double apki = 1000.0 * static_cast<double>(transactions)
+                        / (static_cast<double>(instrs) * kWarpSize);
+    EXPECT_NEAR(apki, spec.apki, spec.apki * 0.3);
+}
+
+TEST(Generator, AccumPairsHitTheSameLine)
+{
+    // Every write to a PrivateAccum stream must be preceded by a load of
+    // the same line (read-modify-write).
+    BenchmarkSpec spec;
+    spec.name = "accum-only";
+    spec.apki = 200;
+    StreamSpec s;
+    s.kind = PatternKind::PrivateAccum;
+    s.weight = 1.0;
+    s.writeProb = 1.0;
+    s.footprintLines = 4096;
+    spec.streams = {s};
+
+    KernelGenerator gen(spec, 0, 1, 4, 1);
+    std::unordered_map<WarpId, Addr> last_load;
+    for (int i = 0; i < 4000; ++i) {
+        WarpId w = static_cast<WarpId>(i % 4);
+        WarpInstruction wi = gen.next(w);
+        if (!wi.isMem)
+            continue;
+        ASSERT_EQ(wi.transactions.size(), 1u);
+        if (wi.type == AccessType::Read) {
+            last_load[w] = wi.transactions[0];
+        } else {
+            ASSERT_TRUE(last_load.count(w));
+            EXPECT_EQ(wi.transactions[0], last_load[w]);
+        }
+    }
+}
+
+TEST(Generator, StreamPatternNeverRevisitsWithHugeFootprint)
+{
+    BenchmarkSpec spec;
+    spec.name = "stream-only";
+    spec.apki = 100;
+    StreamSpec s;
+    s.kind = PatternKind::Stream;
+    s.weight = 1.0;
+    s.footprintLines = 1u << 22;
+    spec.streams = {s};
+
+    KernelGenerator gen(spec, 0, 1, 2, 1);
+    std::unordered_set<Addr> seen;
+    for (int i = 0; i < 20000; ++i) {
+        WarpInstruction wi = gen.next(static_cast<WarpId>(i % 2));
+        if (!wi.isMem)
+            continue;
+        for (Addr a : wi.transactions)
+            EXPECT_TRUE(seen.insert(lineAddr(a)).second)
+                << "dead stream revisited a line";
+    }
+}
+
+TEST(Generator, HotWorkingSetBoundedPerWarp)
+{
+    BenchmarkSpec spec;
+    spec.name = "hot-only";
+    spec.apki = 100;
+    StreamSpec s;
+    s.kind = PatternKind::HotWorkingSet;
+    s.weight = 1.0;
+    s.clusterLines = 10;
+    s.churnProb = 0.0;  // no churn: the cluster is fixed
+    s.divergence = 4;
+    spec.streams = {s};
+
+    KernelGenerator gen(spec, 0, 1, 1, 1);
+    std::unordered_set<Addr> lines;
+    for (int i = 0; i < 4000; ++i) {
+        WarpInstruction wi = gen.next(0);
+        if (!wi.isMem)
+            continue;
+        for (Addr a : wi.transactions)
+            lines.insert(lineAddr(a));
+    }
+    EXPECT_LE(lines.size(), 10u);
+}
+
+TEST(Patterns, StencilTouchesNeighbours)
+{
+    StreamSpec s;
+    s.kind = PatternKind::Stencil;
+    s.footprintLines = 4096;
+    PatternCursor cursor;
+    Rng rng(1);
+    std::vector<Addr> out;
+    for (int i = 0; i < 9; ++i)
+        cursor.generate(s, 0, 0, 1, rng, out);
+    ASSERT_EQ(out.size(), 9u);
+    // Nine accesses cover only ~4 distinct lines (3 reuses each).
+    std::unordered_set<Addr> distinct(out.begin(), out.end());
+    EXPECT_LE(distinct.size(), 5u);
+}
+
+TEST(Patterns, KindNamesAreStable)
+{
+    EXPECT_STREQ(toString(PatternKind::Stream), "stream");
+    EXPECT_STREQ(toString(PatternKind::HotWorkingSet), "hot-working-set");
+    EXPECT_STREQ(toString(PatternKind::Stencil), "stencil");
+}
+
+} // namespace
+} // namespace fuse
