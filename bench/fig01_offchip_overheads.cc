@@ -5,55 +5,15 @@
  * (network vs DRAM), and (b) the energy decomposition (off-chip service vs
  * on-chip L1D/compute). The paper reports ~75% of time and ~71% of energy
  * going to off-chip service on average.
+ *
+ * Runs through the exp/ sweep subsystem; same as `fuse_sweep --figure
+ * fig01`.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fuse::Simulator sim(fuse::SimConfig::fermi());
-
-    fuse::Report time_report(
-        "Fig. 1a — execution-time decomposition (L1-SRAM)");
-    time_report.header({"workload", "off-chip frac", "network", "DRAM",
-                        "on-chip"});
-    fuse::Report energy_report(
-        "Fig. 1b — GPU energy decomposition (L1-SRAM)");
-    energy_report.header({"workload", "off-chip frac", "L2+NoC+DRAM (uJ)",
-                          "L1D (uJ)", "SM compute (uJ)"});
-
-    double time_sum = 0.0;
-    double energy_sum = 0.0;
-    int n = 0;
-    for (const auto &bench : fuse::allBenchmarks()) {
-        fuse::Metrics m = sim.run(bench.name, fuse::L1DKind::L1Sram);
-        const double off = m.memWaitFraction;
-        time_report.row({bench.name, fuse::fmt(off, 3),
-                         fuse::fmt(off * m.networkShare, 3),
-                         fuse::fmt(off * m.dramShare, 3),
-                         fuse::fmt(1.0 - off, 3)});
-        const double eoff = m.energy.offchipFraction();
-        energy_report.row({bench.name, fuse::fmt(eoff, 3),
-                           fuse::fmt(m.energy.offchip() / 1000.0, 1),
-                           fuse::fmt(m.energy.l1dTotal() / 1000.0, 1),
-                           fuse::fmt((m.energy.compute
-                                      + m.energy.smLeakage) / 1000.0, 1)});
-        time_sum += off;
-        energy_sum += eoff;
-        ++n;
-        std::fflush(stdout);
-    }
-    time_report.row({"MEAN", fuse::fmt(time_sum / n, 3), "", "", ""});
-    energy_report.row({"MEAN", fuse::fmt(energy_sum / n, 3), "", "", ""});
-
-    time_report.print();
-    energy_report.print();
-    std::printf("\npaper reference: off-chip ~75%% of execution time and "
-                "~71%% of energy on average\n");
-    return 0;
+    return fuse::runFigureMain("fig01", argc, argv);
 }

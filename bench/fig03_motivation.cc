@@ -6,59 +6,15 @@
  * seven memory-intensive workloads. Paper: the Oracle cuts the miss rate
  * by 58% and improves performance ~6x over Vanilla; the STT-MRAM GPU
  * still misses 39% more than the Oracle.
+ *
+ * Runs through the exp/ sweep subsystem; same as `fuse_sweep --figure
+ * fig03`.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using fuse::L1DKind;
-    fuse::Simulator sim(fuse::SimConfig::fermi());
-
-    fuse::Report miss("Fig. 3a — L1D miss rate");
-    miss.header({"workload", "Vanilla", "STT-MRAM", "Oracle"});
-    fuse::Report ipc("Fig. 3b — IPC normalised to Vanilla");
-    ipc.header({"workload", "Vanilla", "STT-MRAM", "Oracle"});
-
-    std::vector<double> stt_norm;
-    std::vector<double> oracle_norm;
-    std::vector<double> vanilla_miss;
-    std::vector<double> oracle_miss;
-    for (const auto &name : fuse::motivationWorkloads()) {
-        fuse::Metrics v = sim.run(name, L1DKind::L1Sram);
-        fuse::Metrics s = sim.run(name, L1DKind::PureNvm);
-        fuse::Metrics o = sim.run(name, L1DKind::Oracle);
-        miss.row({name, fuse::fmt(v.l1dMissRate, 3),
-                  fuse::fmt(s.l1dMissRate, 3),
-                  fuse::fmt(o.l1dMissRate, 3)});
-        ipc.row({name, "1.00", fuse::fmt(s.ipc / v.ipc, 2),
-                 fuse::fmt(o.ipc / v.ipc, 2)});
-        stt_norm.push_back(s.ipc / v.ipc);
-        oracle_norm.push_back(o.ipc / v.ipc);
-        vanilla_miss.push_back(v.l1dMissRate);
-        oracle_miss.push_back(o.l1dMissRate);
-        std::fflush(stdout);
-    }
-    ipc.row({"GMEAN", "1.00", fuse::fmt(fuse::geomean(stt_norm), 2),
-             fuse::fmt(fuse::geomean(oracle_norm), 2)});
-    miss.print();
-    ipc.print();
-
-    double v_avg = 0;
-    double o_avg = 0;
-    for (std::size_t i = 0; i < vanilla_miss.size(); ++i) {
-        v_avg += vanilla_miss[i];
-        o_avg += oracle_miss[i];
-    }
-    v_avg /= static_cast<double>(vanilla_miss.size());
-    o_avg /= static_cast<double>(oracle_miss.size());
-    std::printf("\nmeasured: Oracle cuts the average miss rate from %.2f "
-                "to %.2f; paper reference: -58%% miss rate, ~6x IPC\n",
-                v_avg, o_avg);
-    return 0;
+    return fuse::runFigureMain("fig03", argc, argv);
 }

@@ -6,120 +6,15 @@
  * multiple (WORM), or write-once-read-once (WORO). The paper observes
  * that ~80% of blocks are WORM on average, with PVC/PVR/SS showing large
  * WM populations.
+ *
+ * The per-workload replays (exp/trace_studies.hh) fan out across worker
+ * threads; same as `fuse_sweep --figure fig06`.
  */
 
-#include <cstdio>
-#include <unordered_map>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
-#include "workload/generator.hh"
-
-namespace
-{
-
-struct BlockStats
-{
-    std::uint32_t reads = 0;
-    std::uint32_t writes = 0;
-};
-
-struct Mix
-{
-    double wm = 0.0;
-    double readIntensive = 0.0;
-    double worm = 0.0;
-    double woro = 0.0;
-};
-
-/** Classify one block's lifetime access counts (the fill that brings a
- *  block on chip counts as its first write, hence "write-once" families
- *  for load-only data). */
-fuse::ReadLevel
-classify(const BlockStats &b)
-{
-    if (b.writes >= 2)
-        return fuse::ReadLevel::WM;
-    if (b.reads + b.writes <= 1)
-        return fuse::ReadLevel::WORO;
-    if (b.writes == 1 && b.reads >= 4)
-        return fuse::ReadLevel::ReadIntensive;
-    if (b.reads >= 2)
-        return fuse::ReadLevel::WORM;
-    return fuse::ReadLevel::WORO;
-}
-
-Mix
-analyse(const fuse::BenchmarkSpec &spec)
-{
-    // Trace one SM's worth of warps (workloads are symmetric across SMs).
-    fuse::KernelGenerator gen(spec, /*sm=*/0, /*num_sms=*/15,
-                              /*warps_per_sm=*/48, /*seed=*/1);
-    std::unordered_map<fuse::Addr, BlockStats> blocks;
-    const std::uint64_t instructions = 240000;
-    std::uint64_t issued = 0;
-    while (issued < instructions) {
-        for (fuse::WarpId w = 0; w < 48 && issued < instructions; ++w) {
-            fuse::WarpInstruction wi = gen.next(w);
-            ++issued;
-            if (!wi.isMem)
-                continue;
-            for (fuse::Addr a : wi.transactions) {
-                auto &b = blocks[fuse::lineAddr(a)];
-                if (wi.type == fuse::AccessType::Write)
-                    ++b.writes;
-                else
-                    ++b.reads;
-            }
-        }
-    }
-    Mix mix;
-    for (const auto &[line, b] : blocks) {
-        switch (classify(b)) {
-          case fuse::ReadLevel::WM: mix.wm += 1; break;
-          case fuse::ReadLevel::ReadIntensive:
-            mix.readIntensive += 1;
-            break;
-          case fuse::ReadLevel::WORM: mix.worm += 1; break;
-          case fuse::ReadLevel::WORO: mix.woro += 1; break;
-        }
-    }
-    const double total = mix.wm + mix.readIntensive + mix.worm + mix.woro;
-    if (total > 0) {
-        mix.wm /= total;
-        mix.readIntensive /= total;
-        mix.worm /= total;
-        mix.woro /= total;
-    }
-    return mix;
-}
-
-} // namespace
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fuse::Report report("Fig. 6 — read-level analysis (block fractions)");
-    report.header({"workload", "WM", "read-intensive", "WORM", "WORO"});
-
-    Mix avg;
-    int n = 0;
-    for (const auto &bench : fuse::allBenchmarks()) {
-        Mix mix = analyse(bench);
-        report.row({bench.name, fuse::fmt(mix.wm, 3),
-                    fuse::fmt(mix.readIntensive, 3),
-                    fuse::fmt(mix.worm, 3), fuse::fmt(mix.woro, 3)});
-        avg.wm += mix.wm;
-        avg.readIntensive += mix.readIntensive;
-        avg.worm += mix.worm;
-        avg.woro += mix.woro;
-        ++n;
-    }
-    report.row({"MEAN", fuse::fmt(avg.wm / n, 3),
-                fuse::fmt(avg.readIntensive / n, 3),
-                fuse::fmt(avg.worm / n, 3), fuse::fmt(avg.woro / n, 3)});
-    report.print();
-    std::printf("\npaper reference: WORM dominates (~80%% of blocks on "
-                "average); PVC/PVR/SS carry large WM populations\n");
-    return 0;
+    return fuse::runFigureMain("fig06", argc, argv);
 }

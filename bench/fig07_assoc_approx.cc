@@ -5,66 +5,15 @@
  * fully-associative STT-MRAM bank with free parallel comparators. The
  * paper reports the approximation within 2% of true full associativity,
  * plus 1-2 cycle average tag-search cost.
+ *
+ * The comparator budgets are expressed as configuration variants of one
+ * sweep spec; same as `fuse_sweep --figure fig07`.
  */
 
-#include <cstdio>
-#include <map>
-#include <vector>
-
-#include "fuse/hybrid_l1d.hh"
-#include "sim/report.hh"
-#include "sim/simulator.hh"
-
-namespace
-{
-
-/** Run FA-FUSE with the given number of parallel comparators; a huge
- *  count makes every search single-cycle = ideal full associativity. */
-fuse::Metrics
-runWithComparators(const fuse::Simulator &sim, const std::string &name,
-                   std::uint32_t comparators)
-{
-    fuse::SimConfig config = sim.config();
-    config.l1d.approx.comparators = comparators;
-    fuse::Simulator custom(config);
-    return custom.run(name, fuse::L1DKind::FaFuse);
-}
-
-} // namespace
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fuse::Simulator sim(fuse::SimConfig::fermi());
-
-    std::map<std::string, std::vector<double>> per_suite;
-    fuse::Report detail("Fig. 7b detail — per-workload IPC ratio "
-                        "(approximate / ideal fully-associative)");
-    detail.header({"workload", "suite", "approx IPC", "ideal IPC",
-                   "ratio"});
-
-    for (const auto &bench : fuse::allBenchmarks()) {
-        fuse::Metrics approx =
-            runWithComparators(sim, bench.name, /*comparators=*/4);
-        fuse::Metrics ideal =
-            runWithComparators(sim, bench.name, /*comparators=*/4096);
-        const double ratio =
-            ideal.ipc > 0 ? approx.ipc / ideal.ipc : 0.0;
-        detail.row({bench.name, toString(bench.suite),
-                    fuse::fmt(approx.ipc, 3), fuse::fmt(ideal.ipc, 3),
-                    fuse::fmt(ratio, 3)});
-        per_suite[toString(bench.suite)].push_back(ratio);
-        std::fflush(stdout);
-    }
-    detail.print();
-
-    fuse::Report report("Fig. 7b — normalised IPC per suite");
-    report.header({"suite", "approximate / fully-assoc"});
-    for (const auto &[suite, ratios] : per_suite)
-        report.row({suite, fuse::fmt(fuse::geomean(ratios), 3)});
-    report.print();
-
-    std::printf("\npaper reference: approximation within 2%% of a true "
-                "fully-associative cache on every suite\n");
-    return 0;
+    return fuse::runFigureMain("fig07", argc, argv);
 }

@@ -5,64 +5,17 @@
  * improves performance by 217% (3.17x) over L1-SRAM on the geometric mean,
  * 101% over By-NVM, and 23.7% over FA-FUSE.
  *
+ * The (workload x organisation) grid runs concurrently through the
+ * exp/ sweep subsystem (worker count: FUSE_THREADS or all cores);
+ * `fuse_sweep --figure fig13` is the same code path.
+ *
  * Usage: fig13_ipc [benchmark...]   (default: all 21)
  */
 
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using fuse::L1DKind;
-    const std::vector<L1DKind> kinds = {
-        L1DKind::ByNvm, L1DKind::FaSram,   L1DKind::Hybrid,
-        L1DKind::BaseFuse, L1DKind::FaFuse, L1DKind::DyFuse,
-    };
-
-    std::vector<std::string> names;
-    if (argc > 1) {
-        for (int i = 1; i < argc; ++i)
-            names.push_back(argv[i]);
-    } else {
-        for (const auto &b : fuse::allBenchmarks())
-            names.push_back(b.name);
-    }
-
-    fuse::Simulator sim(fuse::SimConfig::fermi());
-
-    fuse::Report report("Fig. 13 — IPC normalised to L1-SRAM");
-    std::vector<std::string> header = {"workload"};
-    for (L1DKind k : kinds)
-        header.push_back(fuse::toString(k));
-    report.header(header);
-
-    std::vector<std::vector<double>> norm_per_kind(kinds.size());
-    for (const auto &name : names) {
-        fuse::Metrics base = sim.run(name, L1DKind::L1Sram);
-        std::vector<std::string> row = {name};
-        for (std::size_t k = 0; k < kinds.size(); ++k) {
-            fuse::Metrics m = sim.run(name, kinds[k]);
-            const double norm = base.ipc > 0 ? m.ipc / base.ipc : 0.0;
-            norm_per_kind[k].push_back(norm);
-            row.push_back(fuse::fmt(norm, 2));
-        }
-        report.row(row);
-        std::fflush(stdout);
-    }
-
-    std::vector<std::string> gmean_row = {"GMEAN"};
-    for (const auto &values : norm_per_kind)
-        gmean_row.push_back(fuse::fmt(fuse::geomean(values), 2));
-    report.row(gmean_row);
-    report.print();
-
-    std::printf("\npaper reference (GMEAN vs L1-SRAM): Dy-FUSE ~3.17x, "
-                "FA-FUSE ~2.6x, Base-FUSE ~0.86x, Hybrid ~0.77x, "
-                "By-NVM ~1.6x\n");
-    return 0;
+    return fuse::runFigureMain("fig13", argc, argv);
 }

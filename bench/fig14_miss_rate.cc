@@ -6,60 +6,17 @@
  * on average; FA-FUSE cuts misses most in irregular workloads; FA-FUSE
  * and Dy-FUSE are nearly identical on miss rate (the predictor changes
  * placement, not capacity).
+ *
+ * Runs through the exp/ sweep subsystem; same as `fuse_sweep --figure
+ * fig14`.
+ *
+ * Usage: fig14_miss_rate [benchmark...]   (default: all 21)
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using fuse::L1DKind;
-    const std::vector<L1DKind> kinds = {
-        L1DKind::L1Sram, L1DKind::ByNvm,    L1DKind::FaSram,
-        L1DKind::Hybrid, L1DKind::BaseFuse, L1DKind::FaFuse,
-        L1DKind::DyFuse,
-    };
-
-    std::vector<std::string> names;
-    if (argc > 1) {
-        for (int i = 1; i < argc; ++i)
-            names.push_back(argv[i]);
-    } else {
-        for (const auto &b : fuse::allBenchmarks())
-            names.push_back(b.name);
-    }
-
-    fuse::Simulator sim(fuse::SimConfig::fermi());
-
-    fuse::Report report("Fig. 14 — L1D miss rate");
-    std::vector<std::string> header = {"workload"};
-    for (L1DKind k : kinds)
-        header.push_back(fuse::toString(k));
-    report.header(header);
-
-    std::vector<double> sums(kinds.size(), 0.0);
-    for (const auto &name : names) {
-        std::vector<std::string> row = {name};
-        for (std::size_t k = 0; k < kinds.size(); ++k) {
-            fuse::Metrics m = sim.run(name, kinds[k]);
-            sums[k] += m.l1dMissRate;
-            row.push_back(fuse::fmt(m.l1dMissRate, 3));
-        }
-        report.row(row);
-        std::fflush(stdout);
-    }
-    std::vector<std::string> mean_row = {"MEAN"};
-    for (double s : sums)
-        mean_row.push_back(
-            fuse::fmt(s / static_cast<double>(names.size()), 3));
-    report.row(mean_row);
-    report.print();
-
-    std::printf("\npaper reference: hybrid organisations ~21.6%% lower "
-                "miss rate than L1-SRAM; FA-FUSE ~= Dy-FUSE\n");
-    return 0;
+    return fuse::runFigureMain("fig14", argc, argv);
 }

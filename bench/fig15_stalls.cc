@@ -5,52 +5,15 @@
  * STT-MRAM stalls of Hybrid. Paper: Base-FUSE removes ~78% of Hybrid's
  * stalls; FA-FUSE another ~18%, with tag-search overhead only ~3% of
  * Hybrid's STT stalls.
+ *
+ * Runs through the exp/ sweep subsystem; same as `fuse_sweep --figure
+ * fig15`.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using fuse::L1DKind;
-    fuse::Simulator sim(fuse::SimConfig::fermi());
-
-    fuse::Report report(
-        "Fig. 15 — L1D stalls normalised to Hybrid's STT-MRAM stalls");
-    report.header({"workload", "Hybrid stt", "Base-FUSE stt",
-                   "Base tag", "FA-FUSE stt", "FA tag"});
-
-    double base_sum = 0.0;
-    double fa_sum = 0.0;
-    double fa_tag_sum = 0.0;
-    int n = 0;
-    for (const auto &bench : fuse::allBenchmarks()) {
-        fuse::Metrics hybrid = sim.run(bench.name, L1DKind::Hybrid);
-        fuse::Metrics base = sim.run(bench.name, L1DKind::BaseFuse);
-        fuse::Metrics fa = sim.run(bench.name, L1DKind::FaFuse);
-        const double norm =
-            hybrid.sttStallCycles > 0 ? hybrid.sttStallCycles : 1.0;
-        report.row({bench.name, fuse::fmt(1.0, 2),
-                    fuse::fmt(base.sttStallCycles / norm, 3),
-                    fuse::fmt(base.tagSearchStallCycles / norm, 3),
-                    fuse::fmt(fa.sttStallCycles / norm, 3),
-                    fuse::fmt(fa.tagSearchStallCycles / norm, 3)});
-        base_sum += base.sttStallCycles / norm;
-        fa_sum += fa.sttStallCycles / norm;
-        fa_tag_sum += fa.tagSearchStallCycles / norm;
-        ++n;
-        std::fflush(stdout);
-    }
-    report.row({"MEAN", "1.00", fuse::fmt(base_sum / n, 3), "",
-                fuse::fmt(fa_sum / n, 3), fuse::fmt(fa_tag_sum / n, 3)});
-    report.print();
-
-    std::printf("\npaper reference: Base-FUSE -78%% stalls vs Hybrid; "
-                "FA-FUSE a further -18%%; tag-search overhead ~3%% of "
-                "Hybrid's STT stalls\n");
-    return 0;
+    return fuse::runFigureMain("fig15", argc, argv);
 }

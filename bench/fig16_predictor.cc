@@ -4,40 +4,15 @@
  * every workload, split into True / Neutral / False outcomes (judged at
  * block eviction against the block's actual write behaviour). Paper:
  * ~95% average accuracy, 85% in the worst case.
+ *
+ * Runs through the exp/ sweep subsystem; same as `fuse_sweep --figure
+ * fig16`.
  */
 
-#include <cstdio>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fuse::Simulator sim(fuse::SimConfig::fermi());
-
-    fuse::Report report("Fig. 16 — read-level predictor accuracy");
-    report.header({"workload", "true", "neutral", "false"});
-
-    double true_sum = 0.0;
-    double worst_true = 1.0;
-    int n = 0;
-    for (const auto &bench : fuse::allBenchmarks()) {
-        fuse::Metrics m = sim.run(bench.name, fuse::L1DKind::DyFuse);
-        report.row({bench.name, fuse::fmt(m.predTrue, 3),
-                    fuse::fmt(m.predNeutral, 3),
-                    fuse::fmt(m.predFalse, 3)});
-        true_sum += m.predTrue;
-        if (m.predTrue < worst_true && m.predTrue > 0)
-            worst_true = m.predTrue;
-        ++n;
-        std::fflush(stdout);
-    }
-    report.row({"MEAN", fuse::fmt(true_sum / n, 3), "", ""});
-    report.print();
-
-    std::printf("\nmeasured: mean true-rate %.1f%%, worst %.1f%%; paper "
-                "reference: ~95%% average, 85%% worst case\n",
-                100.0 * true_sum / n, 100.0 * worst_true);
-    return 0;
+    return fuse::runFigureMain("fig16", argc, argv);
 }

@@ -5,54 +5,15 @@
  * compute-bound low-APKI workloads; on data-intensive/irregular ones it
  * burns up to 6-8x more than the NVM organisations (leakage over long
  * runtimes); Dy-FUSE saves ~24% vs By-NVM and ~7% vs FA-FUSE.
+ *
+ * Runs through the exp/ sweep subsystem; same as `fuse_sweep --figure
+ * fig17`.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using fuse::L1DKind;
-    const std::vector<L1DKind> kinds = {
-        L1DKind::ByNvm, L1DKind::BaseFuse, L1DKind::FaFuse,
-        L1DKind::DyFuse,
-    };
-
-    fuse::Simulator sim(fuse::SimConfig::fermi());
-
-    fuse::Report report("Fig. 17 — L1D energy normalised to L1-SRAM");
-    std::vector<std::string> header = {"workload", "L1-SRAM"};
-    for (L1DKind k : kinds)
-        header.push_back(fuse::toString(k));
-    report.header(header);
-
-    std::vector<std::vector<double>> norms(kinds.size());
-    for (const auto &bench : fuse::allBenchmarks()) {
-        fuse::Metrics base = sim.run(bench.name, L1DKind::L1Sram);
-        const double ref =
-            base.energy.l1dTotal() > 0 ? base.energy.l1dTotal() : 1.0;
-        std::vector<std::string> row = {bench.name, "1.00"};
-        for (std::size_t k = 0; k < kinds.size(); ++k) {
-            fuse::Metrics m = sim.run(bench.name, kinds[k]);
-            const double norm = m.energy.l1dTotal() / ref;
-            norms[k].push_back(norm);
-            row.push_back(fuse::fmt(norm, 2));
-        }
-        report.row(row);
-        std::fflush(stdout);
-    }
-    std::vector<std::string> gmean = {"GMEAN", "1.00"};
-    for (const auto &v : norms)
-        gmean.push_back(fuse::fmt(fuse::geomean(v), 2));
-    report.row(gmean);
-    report.print();
-
-    std::printf("\npaper reference: Dy-FUSE saves ~24%% L1D energy vs "
-                "By-NVM and ~7%% vs FA-FUSE; overall FUSE saves ~53%% "
-                "total energy vs the SRAM baseline\n");
-    return 0;
+    return fuse::runFigureMain("fig17", argc, argv);
 }

@@ -5,63 +5,15 @@
  * L1D miss rate for SRAM fractions 1/16, 1/8, 1/4, 1/2, 3/4 of the 32KB
  * area budget. Paper: 1/2 is the optimum — more SRAM shrinks total
  * capacity (+miss rate), less SRAM cannot absorb write-multiple data.
+ *
+ * The area splits are expressed as configuration variants of one sweep
+ * spec; same as `fuse_sweep --figure fig18`.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::vector<std::pair<const char *, double>> ratios = {
-        {"1/16", 1.0 / 16}, {"1/8", 1.0 / 8}, {"1/4", 1.0 / 4},
-        {"1/2", 1.0 / 2},   {"3/4", 3.0 / 4},
-    };
-
-    fuse::Report ipc_report(
-        "Fig. 18a — Dy-FUSE IPC normalised to the 1/16 split");
-    fuse::Report miss_report("Fig. 18b — Dy-FUSE L1D miss rate");
-    std::vector<std::string> header = {"workload"};
-    for (const auto &[label, f] : ratios)
-        header.push_back(label);
-    ipc_report.header(header);
-    miss_report.header(header);
-
-    std::vector<std::vector<double>> ipc_norm(ratios.size());
-    for (const auto &name : fuse::sensitivityWorkloads()) {
-        std::vector<double> ipcs;
-        std::vector<double> misses;
-        for (const auto &[label, fraction] : ratios) {
-            fuse::SimConfig config = fuse::SimConfig::fermi();
-            config.l1d.sramAreaFraction = fraction;
-            fuse::Simulator sim(config);
-            fuse::Metrics m = sim.run(name, fuse::L1DKind::DyFuse);
-            ipcs.push_back(m.ipc);
-            misses.push_back(m.l1dMissRate);
-        }
-        std::vector<std::string> ipc_row = {name};
-        std::vector<std::string> miss_row = {name};
-        for (std::size_t r = 0; r < ratios.size(); ++r) {
-            const double norm = ipcs[0] > 0 ? ipcs[r] / ipcs[0] : 0.0;
-            ipc_norm[r].push_back(norm);
-            ipc_row.push_back(fuse::fmt(norm, 2));
-            miss_row.push_back(fuse::fmt(misses[r], 3));
-        }
-        ipc_report.row(ipc_row);
-        miss_report.row(miss_row);
-        std::fflush(stdout);
-    }
-    std::vector<std::string> gmean = {"GMEAN"};
-    for (const auto &v : ipc_norm)
-        gmean.push_back(fuse::fmt(fuse::geomean(v), 2));
-    ipc_report.row(gmean);
-
-    ipc_report.print();
-    miss_report.print();
-    std::printf("\npaper reference: 1/2 SRAM fraction is optimal across "
-                "the sweep\n");
-    return 0;
+    return fuse::runFigureMain("fig18", argc, argv);
 }

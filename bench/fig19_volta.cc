@@ -5,61 +5,17 @@
  * normalised to L1-SRAM. Paper: even with the 4x larger baseline L1,
  * fusing STT-MRAM still pays — Base/FA/Dy-FUSE gain 35%/82%/96% over
  * L1-SRAM and 37%/71%/82% over By-NVM.
+ *
+ * Runs through the exp/ sweep subsystem; same as `fuse_sweep --figure
+ * fig19`.
+ *
+ * Usage: fig19_volta [benchmark...]   (default: all 21)
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using fuse::L1DKind;
-    const std::vector<L1DKind> kinds = {
-        L1DKind::ByNvm, L1DKind::Hybrid, L1DKind::BaseFuse,
-        L1DKind::FaFuse, L1DKind::DyFuse,
-    };
-
-    std::vector<std::string> names;
-    if (argc > 1) {
-        for (int i = 1; i < argc; ++i)
-            names.push_back(argv[i]);
-    } else {
-        for (const auto &b : fuse::allBenchmarks())
-            names.push_back(b.name);
-    }
-
-    fuse::Simulator sim(fuse::SimConfig::volta());
-
-    fuse::Report report("Fig. 19 — Volta-class GPU, IPC normalised to "
-                        "L1-SRAM");
-    std::vector<std::string> header = {"workload"};
-    for (L1DKind k : kinds)
-        header.push_back(fuse::toString(k));
-    report.header(header);
-
-    std::vector<std::vector<double>> norms(kinds.size());
-    for (const auto &name : names) {
-        fuse::Metrics base = sim.run(name, L1DKind::L1Sram);
-        std::vector<std::string> row = {name};
-        for (std::size_t k = 0; k < kinds.size(); ++k) {
-            fuse::Metrics m = sim.run(name, kinds[k]);
-            const double norm = base.ipc > 0 ? m.ipc / base.ipc : 0.0;
-            norms[k].push_back(norm);
-            row.push_back(fuse::fmt(norm, 2));
-        }
-        report.row(row);
-        std::fflush(stdout);
-    }
-    std::vector<std::string> gmean = {"GMEAN"};
-    for (const auto &v : norms)
-        gmean.push_back(fuse::fmt(fuse::geomean(v), 2));
-    report.row(gmean);
-    report.print();
-
-    std::printf("\npaper reference (vs L1-SRAM): Base-FUSE +35%%, "
-                "FA-FUSE +82%%, Dy-FUSE +96%%\n");
-    return 0;
+    return fuse::runFigureMain("fig19", argc, argv);
 }

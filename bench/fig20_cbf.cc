@@ -6,112 +6,15 @@
  * bank's fill/evict/search traffic). Paper: 3 hash functions cut false
  * positives by ~98% vs 1; 128 slots by ~99% vs 32; saturation picks
  * 3 hashes and the largest data-set size.
+ *
+ * The per-workload replays (exp/trace_studies.hh) fan out across worker
+ * threads; same as `fuse_sweep --figure fig20`.
  */
 
-#include <cstdio>
-#include <deque>
-#include <unordered_set>
-#include <vector>
-
-#include "cache/bloom.hh"
-#include "sim/report.hh"
-#include "workload/generator.hh"
-
-namespace
-{
-
-/**
- * Replay a workload's block stream against one CBF partition: blocks
- * enter a FIFO window (the partition's share of the 512-line STT bank),
- * evictions decrement, and every access first tests membership.
- */
-double
-falsePositiveRate(const fuse::BenchmarkSpec &spec, std::uint32_t slots,
-                  std::uint32_t hashes)
-{
-    fuse::CountingBloomFilter cbf(slots, hashes);
-    fuse::BloomAccuracy acc;
-    fuse::KernelGenerator gen(spec, 0, 15, 48, 1);
-    std::deque<fuse::Addr> window;
-    std::unordered_set<fuse::Addr> resident;
-    // Each CBF guards one partition of the 512-line STT bank: with 128
-    // CBFs that is a 4-line data set (the paper's operating point),
-    // independent of the slot-count sweep.
-    const std::size_t capacity = 4;
-    (void)slots;
-
-    std::uint64_t last_saturations = 0;
-    std::uint64_t issued = 0;
-    while (issued < 120000) {
-        for (fuse::WarpId w = 0; w < 48 && issued < 120000; ++w) {
-            fuse::WarpInstruction wi = gen.next(w);
-            ++issued;
-            if (!wi.isMem)
-                continue;
-            for (fuse::Addr a : wi.transactions) {
-                const fuse::Addr line = fuse::lineAddr(a);
-                const bool present = resident.count(line) != 0;
-                acc.record(cbf.test(line), present);
-                if (present)
-                    continue;
-                cbf.insert(line);
-                resident.insert(line);
-                window.push_back(line);
-                if (window.size() > capacity) {
-                    fuse::Addr victim = window.front();
-                    window.pop_front();
-                    cbf.remove(victim);
-                    resident.erase(victim);
-                    // Saturation refresh, as in AssocApprox::refresh().
-                    if (cbf.saturations() != last_saturations) {
-                        cbf.clear();
-                        for (fuse::Addr r : resident)
-                            cbf.insert(r);
-                        last_saturations = cbf.saturations();
-                    }
-                }
-            }
-        }
-    }
-    return acc.falsePositiveRate();
-}
-
-} // namespace
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::vector<std::string> workloads =
-        fuse::sensitivityWorkloads();
-
-    fuse::Report hash_report(
-        "Fig. 20a — CBF false-positive rate vs hash functions (16 slots)");
-    hash_report.header({"workload", "1 func", "2 func", "3 func",
-                        "4 func", "5 func"});
-    for (const auto &name : workloads) {
-        const auto &spec = fuse::benchmarkByName(name);
-        std::vector<std::string> row = {name};
-        for (std::uint32_t h = 1; h <= 5; ++h)
-            row.push_back(fuse::fmt(falsePositiveRate(spec, 16, h), 4));
-        hash_report.row(row);
-        std::fflush(stdout);
-    }
-    hash_report.print();
-
-    fuse::Report slot_report(
-        "Fig. 20b — CBF false-positive rate vs slots (3 hash functions)");
-    slot_report.header({"workload", "32 slots", "64 slots", "128 slots"});
-    for (const auto &name : workloads) {
-        const auto &spec = fuse::benchmarkByName(name);
-        std::vector<std::string> row = {name};
-        for (std::uint32_t s : {32u, 64u, 128u})
-            row.push_back(fuse::fmt(falsePositiveRate(spec, s, 3), 5));
-        slot_report.row(row);
-        std::fflush(stdout);
-    }
-    slot_report.print();
-
-    std::printf("\npaper reference: 3 hash functions cut false positives "
-                "~98%% vs 1; 128 slots ~99%% vs 32\n");
-    return 0;
+    return fuse::runFigureMain("fig20", argc, argv);
 }

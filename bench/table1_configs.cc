@@ -3,91 +3,15 @@
  * Prints the Table I configuration matrix as instantiated by this
  * implementation: the general GPU parameters and, per L1D organisation,
  * bank geometry and device energies (from the src/device models).
+ *
+ * Registered as a static figure of the exp/ subsystem; same as
+ * `fuse_sweep --figure table1`.
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "device/sram_model.hh"
-#include "device/sttmram_model.hh"
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fuse::SimConfig c = fuse::SimConfig::fermi();
-
-    fuse::Report general("Table I — general configuration");
-    general.header({"parameter", "value"});
-    general.row({"SMs", std::to_string(c.gpu.numSms)});
-    general.row({"warps/SM", std::to_string(c.gpu.warpsPerSm)});
-    general.row({"threads/warp", std::to_string(fuse::kWarpSize)});
-    general.row({"request queue entries",
-                 std::to_string(c.l1d.tagQueueEntries)});
-    general.row({"swap buffer entries",
-                 std::to_string(c.l1d.swapBufferEntries)});
-    general.row({"CBFs / hash functions",
-                 std::to_string(c.l1d.approx.numCbfs) + " / "
-                     + std::to_string(c.l1d.approx.numHashes)});
-    general.row({"L2 size / banks",
-                 std::to_string(c.gpu.l2.totalSizeBytes / 1024) + "KB / "
-                     + std::to_string(c.gpu.l2.numBanks)});
-    general.row({"DRAM channels / tCL / tRCD / tRAS",
-                 std::to_string(c.gpu.dram.numChannels) + " / "
-                     + std::to_string(c.gpu.dram.tCL) + " / "
-                     + std::to_string(c.gpu.dram.tRCD) + " / "
-                     + std::to_string(c.gpu.dram.tRAS)});
-    general.row({"sampler assoc / sets",
-                 std::to_string(c.l1d.predictor.samplerWays) + " / "
-                     + std::to_string(c.l1d.predictor.samplerSets)});
-    general.row({"history entries / threshold",
-                 std::to_string(c.l1d.predictor.historyEntries) + " / "
-                     + std::to_string(c.l1d.predictor.unusedThreshold)});
-    general.row({"L1 SRAM/STT latency (R)", "1 / 1 cycles"});
-    general.row({"L1 SRAM/STT latency (W)", "1 / 5 cycles"});
-    general.print();
-
-    fuse::Report banks("Table I — per-organisation bank parameters");
-    banks.header({"config", "SRAM KB", "STT KB", "SRAM sets/ways",
-                  "STT sets/ways", "SRAM R/W nJ", "STT R/W nJ",
-                  "leak mW"});
-    struct RowSpec
-    {
-        const char *name;
-        std::uint32_t sram;
-        std::uint32_t stt;
-        const char *sram_geom;
-        const char *stt_geom;
-    };
-    const std::vector<RowSpec> rows = {
-        {"L1-SRAM", 32 * 1024, 0, "64/4", "-"},
-        {"By-NVM", 0, 128 * 1024, "-", "256/4"},
-        {"Hybrid", 16 * 1024, 64 * 1024, "64/2", "256/2"},
-        {"Base-FUSE", 16 * 1024, 64 * 1024, "64/2", "256/2"},
-        {"FA-FUSE", 16 * 1024, 64 * 1024, "64/2", "1/512"},
-        {"Dy-FUSE", 16 * 1024, 64 * 1024, "64/2", "1/512"},
-    };
-    for (const auto &r : rows) {
-        std::string sram_e = "-";
-        std::string stt_e = "-";
-        double leak = 0.0;
-        if (r.sram) {
-            fuse::SramParams p = fuse::SramModel::scaled(r.sram);
-            sram_e = fuse::fmt(p.readEnergy, 2) + "/"
-                     + fuse::fmt(p.writeEnergy, 2);
-            leak += p.leakagePower;
-        }
-        if (r.stt) {
-            fuse::SttMramParams p = fuse::SttMramModel::scaled(r.stt);
-            stt_e = fuse::fmt(p.readEnergy, 2) + "/"
-                    + fuse::fmt(p.writeEnergy, 2);
-            leak += p.leakagePower;
-        }
-        banks.row({r.name, std::to_string(r.sram / 1024),
-                   std::to_string(r.stt / 1024), r.sram_geom, r.stt_geom,
-                   sram_e, stt_e, fuse::fmt(leak, 1)});
-    }
-    banks.print();
-    return 0;
+    return fuse::runFigureMain("table1", argc, argv);
 }

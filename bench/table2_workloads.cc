@@ -3,33 +3,15 @@
  * Reproduces Table II: per-workload APKI (measured from the generated
  * trace, per kilo thread-instruction) and the By-NVM dead-write bypass
  * ratio, next to the published values.
+ *
+ * Runs through the exp/ sweep subsystem; same as `fuse_sweep --figure
+ * table2`.
  */
 
-#include <cstdio>
-
-#include "sim/report.hh"
-#include "sim/simulator.hh"
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fuse::Simulator sim(fuse::SimConfig::fermi());
-
-    fuse::Report report("Table II — workload characteristics");
-    report.header({"workload", "suite", "APKI paper", "APKI measured",
-                   "bypass paper", "bypass measured"});
-
-    for (const auto &bench : fuse::allBenchmarks()) {
-        fuse::Metrics m = sim.run(bench.name, fuse::L1DKind::ByNvm);
-        // The simulator counts warp instructions; APKI is per kilo
-        // *thread* instruction, i.e. transactions / (warp instr * 32) * 1000.
-        const double apki = m.apki / fuse::kWarpSize;
-        report.row({bench.name, toString(bench.suite),
-                    fuse::fmt(bench.apki, 1), fuse::fmt(apki, 1),
-                    fuse::fmt(bench.publishedBypassRatio, 2),
-                    fuse::fmt(m.bypassRatio, 2)});
-        std::fflush(stdout);
-    }
-    report.print();
-    return 0;
+    return fuse::runFigureMain("table2", argc, argv);
 }

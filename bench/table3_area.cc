@@ -4,36 +4,15 @@
  * L1-SRAM baseline and of Dy-FUSE (16KB SRAM + 64KB STT-MRAM plus the
  * FUSE structures). Paper: Dy-FUSE exceeds the baseline by < 0.7%
  * (their own table sums to ~0.75%).
+ *
+ * Registered as a static figure of the exp/ subsystem; same as
+ * `fuse_sweep --figure table3`.
  */
 
-#include <cstdio>
-
-#include "device/area_model.hh"
-#include "sim/report.hh"
+#include "exp/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fuse::AreaEstimate base = fuse::AreaModel::l1Sram();
-    fuse::AreaEstimate dy = fuse::AreaModel::dyFuse();
-
-    fuse::Report report("Table III — area estimation (transistors)");
-    report.header({"component", "L1-SRAM", "Dy-FUSE"});
-
-    // Union of component names, baseline order first.
-    for (const auto &c : base.components)
-        report.row({c.name, std::to_string(c.transistors),
-                    std::to_string(dy.of(c.name))});
-    for (const auto &c : dy.components) {
-        if (base.of(c.name) == 0 && c.name != "data array")
-            report.row({c.name, "-", std::to_string(c.transistors)});
-    }
-    report.row({"TOTAL", std::to_string(base.total()),
-                std::to_string(dy.total())});
-    report.print();
-
-    std::printf("\nDy-FUSE area overhead vs 32KB L1-SRAM: %.2f%% "
-                "(paper: < 0.7%%)\n",
-                100.0 * fuse::AreaModel::dyFuseOverhead());
-    return 0;
+    return fuse::runFigureMain("table3", argc, argv);
 }

@@ -1,10 +1,11 @@
 /**
  * @file
- * cache_design_explorer: use the public API to explore the FUSE design
- * space on one workload — SRAM:STT area ratio, tag-queue and swap-buffer
- * depths, and the CBF budget of the approximation logic. Demonstrates
- * that the library exposes every knob the paper's sensitivity studies
- * (Fig. 18, Fig. 20, §IV-A sizing) turn.
+ * cache_design_explorer: use the exp/ orchestration subsystem to explore
+ * the FUSE design space on one workload — SRAM:STT area ratio, tag-queue
+ * and swap-buffer depths, and the comparator budget of the approximation
+ * logic. Each sweep is a declarative ExperimentSpec whose configuration
+ * variants fan out across worker threads; the same knobs are reachable
+ * from spec files via `fuse_sweep --spec`.
  *
  * Usage: cache_design_explorer [benchmark]   (default: SYR2K)
  */
@@ -13,22 +14,28 @@
 #include <string>
 #include <vector>
 
+#include "exp/sweep_runner.hh"
 #include "sim/report.hh"
-#include "sim/simulator.hh"
 
 namespace
 {
 
-fuse::Metrics
-runWith(const std::string &benchmark,
-        const std::function<void(fuse::SimConfig &)> &tweak)
+/** A Dy-FUSE spec on one workload with the given variant list. Keeps
+ *  exploration quick: a quarter of the default instruction budget. */
+fuse::ExperimentSpec
+explorerSpec(const char *name, const std::string &benchmark,
+             std::vector<fuse::ConfigVariant> variants)
 {
-    fuse::SimConfig config = fuse::SimConfig::fermi();
-    // Keep exploration quick: a quarter of the default budget.
-    config.gpu.instructionBudgetPerSm /= 4;
-    tweak(config);
-    fuse::Simulator sim(config);
-    return sim.run(benchmark, fuse::L1DKind::DyFuse);
+    fuse::ExperimentSpec spec;
+    spec.name = name;
+    spec.benchmarks = {benchmark};
+    spec.kinds = {fuse::L1DKind::DyFuse};
+    const double budget = static_cast<double>(
+        fuse::SimConfig::fermi().gpu.instructionBudgetPerSm / 4);
+    for (auto &v : variants)
+        v.overrides.push_back({"gpu.instructionBudgetPerSm", budget});
+    spec.variants = std::move(variants);
+    return spec;
 }
 
 } // namespace
@@ -37,19 +44,27 @@ int
 main(int argc, char **argv)
 {
     const std::string benchmark = argc > 1 ? argv[1] : "SYR2K";
+    fuse::SweepRunner runner;
 
     // 1. Area split between SRAM and STT-MRAM (Fig. 18).
+    const std::vector<double> fractions = {1.0 / 16, 1.0 / 8, 1.0 / 4,
+                                           1.0 / 2, 3.0 / 4};
+    std::vector<fuse::ConfigVariant> ratios;
+    for (double f : fractions)
+        ratios.push_back({fuse::fmt(f, 3), {{"l1d.sramAreaFraction", f}}});
+    fuse::ResultSet ratio_results =
+        runner.run(explorerSpec("ratio", benchmark, ratios));
+
     fuse::Report ratio("design sweep: SRAM area fraction (" + benchmark
                        + ", Dy-FUSE)");
     ratio.header({"SRAM fraction", "SRAM KB", "STT KB", "IPC",
                   "miss rate"});
-    for (double f : {1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 3.0 / 4}) {
-        fuse::Metrics m = runWith(benchmark, [f](fuse::SimConfig &c) {
-            c.l1d.sramAreaFraction = f;
-        });
+    for (std::size_t v = 0; v < fractions.size(); ++v) {
+        const fuse::Metrics &m =
+            ratio_results.metrics(benchmark, fuse::L1DKind::DyFuse, v);
         fuse::L1DParams p;
-        p.sramAreaFraction = f;
-        ratio.row({fuse::fmt(f, 3),
+        p.sramAreaFraction = fractions[v];
+        ratio.row({fuse::fmt(fractions[v], 3),
                    std::to_string(p.hybridSramBytes() / 1024),
                    std::to_string(p.hybridSttBytes() / 1024),
                    fuse::fmt(m.ipc, 3), fuse::fmt(m.l1dMissRate, 3)});
@@ -58,34 +73,52 @@ main(int argc, char **argv)
 
     // 2. Non-blocking plumbing depths (§IV-A sizing: 16-entry tag queue,
     //    3-entry swap buffer).
+    std::vector<fuse::ConfigVariant> depths;
+    for (std::uint32_t tq : {4u, 16u, 64u})
+        for (std::uint32_t sb : {1u, 3u, 8u})
+            depths.push_back({std::to_string(tq) + "/"
+                                  + std::to_string(sb),
+                              {{"l1d.tagQueueEntries",
+                                static_cast<double>(tq)},
+                               {"l1d.swapBufferEntries",
+                                static_cast<double>(sb)}}});
+    fuse::ResultSet depth_results =
+        runner.run(explorerSpec("plumbing", benchmark, depths));
+
     fuse::Report plumbing("design sweep: tag queue / swap buffer depth");
     plumbing.header({"tag queue", "swap buffer", "IPC",
                      "stall_stt cycles"});
-    for (std::uint32_t tq : {4u, 16u, 64u}) {
-        for (std::uint32_t sb : {1u, 3u, 8u}) {
-            fuse::Metrics m =
-                runWith(benchmark, [tq, sb](fuse::SimConfig &c) {
-                    c.l1d.tagQueueEntries = tq;
-                    c.l1d.swapBufferEntries = sb;
-                });
-            plumbing.row({std::to_string(tq), std::to_string(sb),
-                          fuse::fmt(m.ipc, 3),
-                          fuse::fmt(m.sttStallCycles, 0)});
-        }
+    for (std::size_t v = 0; v < depth_results.variantLabels().size();
+         ++v) {
+        const fuse::Metrics &m =
+            depth_results.metrics(benchmark, fuse::L1DKind::DyFuse, v);
+        const std::string &label = depth_results.variantLabels()[v];
+        const std::size_t slash = label.find('/');
+        plumbing.row({label.substr(0, slash), label.substr(slash + 1),
+                      fuse::fmt(m.ipc, 3),
+                      fuse::fmt(m.sttStallCycles, 0)});
     }
     plumbing.print();
 
     // 3. Approximation-logic comparator budget (§III-B: 4 comparators).
-    fuse::Report comparators("design sweep: parallel tag comparators");
-    comparators.header({"comparators", "IPC", "tag-search stall cycles"});
-    for (std::uint32_t cmp : {1u, 2u, 4u, 8u}) {
-        fuse::Metrics m = runWith(benchmark, [cmp](fuse::SimConfig &c) {
-            c.l1d.approx.comparators = cmp;
-        });
-        comparators.row({std::to_string(cmp), fuse::fmt(m.ipc, 3),
-                         fuse::fmt(m.tagSearchStallCycles, 0)});
+    std::vector<fuse::ConfigVariant> comparators;
+    for (std::uint32_t cmp : {1u, 2u, 4u, 8u})
+        comparators.push_back({std::to_string(cmp),
+                               {{"l1d.approx.comparators",
+                                 static_cast<double>(cmp)}}});
+    fuse::ResultSet cmp_results =
+        runner.run(explorerSpec("comparators", benchmark, comparators));
+
+    fuse::Report cmp_report("design sweep: parallel tag comparators");
+    cmp_report.header({"comparators", "IPC", "tag-search stall cycles"});
+    for (std::size_t v = 0; v < cmp_results.variantLabels().size(); ++v) {
+        const fuse::Metrics &m =
+            cmp_results.metrics(benchmark, fuse::L1DKind::DyFuse, v);
+        cmp_report.row({cmp_results.variantLabels()[v],
+                        fuse::fmt(m.ipc, 3),
+                        fuse::fmt(m.tagSearchStallCycles, 0)});
     }
-    comparators.print();
+    cmp_report.print();
 
     std::printf("\nTable I's choices (1/2 split, 16-entry queue, 3-entry "
                 "buffer, 4 comparators) should sit at or near the best "

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Machine-readable result export: a named-metric registry over Metrics
+ * plus CSV and JSON writers for a ResultSet (and matching minimal readers
+ * for round-trip checks and post-processing scripts). Doubles are printed
+ * with %.17g so a write/read cycle is value-exact.
+ */
+
+#ifndef FUSE_EXP_EXPORT_HH
+#define FUSE_EXP_EXPORT_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/result_set.hh"
+
+namespace fuse
+{
+
+/** One exportable scalar of a Metrics record. */
+struct MetricField
+{
+    const char *name;
+    double (*get)(const Metrics &);
+};
+
+/** Every exported metric, in column order. */
+const std::vector<MetricField> &metricFields();
+
+/** Value of metric @p name on @p metrics (fatal on unknown name). */
+double metricValue(const Metrics &metrics, const std::string &name);
+
+/** Write @p results as CSV: benchmark,kind,variant,<metrics...>. */
+void writeCsv(std::ostream &os, const ResultSet &results);
+
+/** Write @p results as a JSON document with an array of run objects. */
+void writeJson(std::ostream &os, const ResultSet &results);
+
+/** A parsed export row, independent of the on-disk format. */
+struct FlatRun
+{
+    std::string benchmark;
+    std::string kind;
+    std::string variantLabel;
+    std::map<std::string, double> values;
+};
+
+/** Parse writeCsv output (fatal on malformed input). */
+std::vector<FlatRun> readCsv(std::istream &is);
+
+/** Parse writeJson output (fatal on malformed input). */
+std::vector<FlatRun> readJson(std::istream &is);
+
+} // namespace fuse
+
+#endif // FUSE_EXP_EXPORT_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The paper's figures and tables as declarative experiments: each Figure
+ * pairs an ExperimentSpec factory with a renderer that prints the exact
+ * table layout the corresponding bench/ binary has always produced. The
+ * bench binaries and the fuse_sweep CLI both route through this registry,
+ * so `fuse_sweep --figure fig13` and `bench/fig13_ipc` are one code path.
+ */
+
+#ifndef FUSE_EXP_FIGURES_HH
+#define FUSE_EXP_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "exp/result_set.hh"
+
+namespace fuse
+{
+
+/** One paper figure/table: how to run it and how to print it. */
+struct Figure
+{
+    const char *name;   ///< Registry key, e.g. "fig13".
+    const char *title;  ///< One-line description for --list.
+    ExperimentSpec (*makeSpec)();
+    /** Print the tables. @p threads is the sweep's worker count, for
+     *  renderers that fan out extra work (the trace studies). */
+    void (*render)(const ResultSet &results, unsigned threads);
+};
+
+/** Every reproducible figure/table, in paper order. */
+const std::vector<Figure> &figures();
+
+/** Look up a figure by name; nullptr when unknown. */
+const Figure *findFigure(const std::string &name);
+
+/**
+ * Shared main() of the bench binaries: build the figure's spec
+ * (restricted to the benchmarks named in @p argv, if any), sweep it on
+ * the default worker-thread count, and render. Returns an exit code.
+ */
+int runFigureMain(const std::string &figure, int argc, char **argv);
+
+} // namespace fuse
+
+#endif // FUSE_EXP_FIGURES_HH

@@ -1,0 +1,135 @@
+#include "exp/trace_studies.hh"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/bloom.hh"
+#include "workload/generator.hh"
+
+namespace fuse
+{
+
+namespace
+{
+
+struct BlockStats
+{
+    std::uint32_t reads = 0;
+    std::uint32_t writes = 0;
+};
+
+/** Classify one block's lifetime access counts (the fill that brings a
+ *  block on chip counts as its first write, hence "write-once" families
+ *  for load-only data). */
+ReadLevel
+classify(const BlockStats &b)
+{
+    if (b.writes >= 2)
+        return ReadLevel::WM;
+    if (b.reads + b.writes <= 1)
+        return ReadLevel::WORO;
+    if (b.writes == 1 && b.reads >= 4)
+        return ReadLevel::ReadIntensive;
+    if (b.reads >= 2)
+        return ReadLevel::WORM;
+    return ReadLevel::WORO;
+}
+
+} // namespace
+
+ReadLevelMix
+readLevelMix(const BenchmarkSpec &spec)
+{
+    // Trace one SM's worth of warps (workloads are symmetric across SMs).
+    KernelGenerator gen(spec, /*sm=*/0, /*num_sms=*/15,
+                        /*warps_per_sm=*/48, /*seed=*/1);
+    std::unordered_map<Addr, BlockStats> blocks;
+    const std::uint64_t instructions = 240000;
+    std::uint64_t issued = 0;
+    while (issued < instructions) {
+        for (WarpId w = 0; w < 48 && issued < instructions; ++w) {
+            WarpInstruction wi = gen.next(w);
+            ++issued;
+            if (!wi.isMem)
+                continue;
+            for (Addr a : wi.transactions) {
+                auto &b = blocks[lineAddr(a)];
+                if (wi.type == AccessType::Write)
+                    ++b.writes;
+                else
+                    ++b.reads;
+            }
+        }
+    }
+    ReadLevelMix mix;
+    for (const auto &[line, b] : blocks) {
+        (void)line;
+        switch (classify(b)) {
+          case ReadLevel::WM: mix.wm += 1; break;
+          case ReadLevel::ReadIntensive: mix.readIntensive += 1; break;
+          case ReadLevel::WORM: mix.worm += 1; break;
+          case ReadLevel::WORO: mix.woro += 1; break;
+        }
+    }
+    const double total = mix.wm + mix.readIntensive + mix.worm + mix.woro;
+    if (total > 0) {
+        mix.wm /= total;
+        mix.readIntensive /= total;
+        mix.worm /= total;
+        mix.woro /= total;
+    }
+    return mix;
+}
+
+double
+cbfFalsePositiveRate(const BenchmarkSpec &spec, std::uint32_t slots,
+                     std::uint32_t hashes)
+{
+    CountingBloomFilter cbf(slots, hashes);
+    BloomAccuracy acc;
+    KernelGenerator gen(spec, 0, 15, 48, 1);
+    std::deque<Addr> window;
+    std::unordered_set<Addr> resident;
+    // Each CBF guards one partition of the 512-line STT bank: with 128
+    // CBFs that is a 4-line data set (the paper's operating point),
+    // independent of the slot-count sweep.
+    const std::size_t capacity = 4;
+
+    std::uint64_t last_saturations = 0;
+    std::uint64_t issued = 0;
+    while (issued < 120000) {
+        for (WarpId w = 0; w < 48 && issued < 120000; ++w) {
+            WarpInstruction wi = gen.next(w);
+            ++issued;
+            if (!wi.isMem)
+                continue;
+            for (Addr a : wi.transactions) {
+                const Addr line = lineAddr(a);
+                const bool present = resident.count(line) != 0;
+                acc.record(cbf.test(line), present);
+                if (present)
+                    continue;
+                cbf.insert(line);
+                resident.insert(line);
+                window.push_back(line);
+                if (window.size() > capacity) {
+                    Addr victim = window.front();
+                    window.pop_front();
+                    cbf.remove(victim);
+                    resident.erase(victim);
+                    // Saturation refresh, as in AssocApprox::refresh().
+                    if (cbf.saturations() != last_saturations) {
+                        cbf.clear();
+                        for (Addr r : resident)
+                            cbf.insert(r);
+                        last_saturations = cbf.saturations();
+                    }
+                }
+            }
+        }
+    }
+    return acc.falsePositiveRate();
+}
+
+} // namespace fuse

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Offline trace-replay studies that analyse a workload's generated
+ * access stream without a full GPU simulation: the Fig. 6 read-level
+ * block classification and the Fig. 20 counting-Bloom-filter accuracy
+ * replay. Pure functions of the benchmark spec — safe to fan out across
+ * worker threads with parallelFor.
+ */
+
+#ifndef FUSE_EXP_TRACE_STUDIES_HH
+#define FUSE_EXP_TRACE_STUDIES_HH
+
+#include <cstdint>
+
+#include "workload/benchmarks.hh"
+
+namespace fuse
+{
+
+/** Fraction of distinct blocks in each read-level class (Fig. 6). */
+struct ReadLevelMix
+{
+    double wm = 0.0;
+    double readIntensive = 0.0;
+    double worm = 0.0;
+    double woro = 0.0;
+};
+
+/**
+ * Replay one SM's worth of @p spec's trace and classify every distinct
+ * data block by its lifetime read/write behaviour (the fill that brings
+ * a block on chip counts as its first write).
+ */
+ReadLevelMix readLevelMix(const BenchmarkSpec &spec);
+
+/**
+ * Replay @p spec's block stream against one CBF partition of the STT
+ * bank (insert on fill, decrement on evict, test on every access) and
+ * return the measured false-positive rate (Fig. 20).
+ */
+double cbfFalsePositiveRate(const BenchmarkSpec &spec,
+                            std::uint32_t slots, std::uint32_t hashes);
+
+} // namespace fuse
+
+#endif // FUSE_EXP_TRACE_STUDIES_HH

@@ -20,6 +20,29 @@ toString(L1DKind kind)
     return "?";
 }
 
+bool
+l1dKindFromString(const std::string &name, L1DKind &kind)
+{
+    for (L1DKind k : allL1DKinds()) {
+        if (name == toString(k)) {
+            kind = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<L1DKind> &
+allL1DKinds()
+{
+    static const std::vector<L1DKind> kinds = {
+        L1DKind::L1Sram, L1DKind::FaSram,   L1DKind::ByNvm,
+        L1DKind::PureNvm, L1DKind::Hybrid,  L1DKind::BaseFuse,
+        L1DKind::FaFuse,  L1DKind::DyFuse,  L1DKind::Oracle,
+    };
+    return kinds;
+}
+
 const char *
 toString(ReadLevel level)
 {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -36,6 +37,12 @@ enum class L1DKind : std::uint8_t
 };
 
 const char *toString(L1DKind kind);
+
+/** Inverse of toString(L1DKind). Returns false if @p name is unknown. */
+bool l1dKindFromString(const std::string &name, L1DKind &kind);
+
+/** All nine organisations, in declaration order. */
+const std::vector<L1DKind> &allL1DKinds();
 
 /** Outcome of presenting one transaction to the L1D. */
 struct L1DResult

@@ -1,7 +1,6 @@
 #include "sim/report.hh"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace fuse
@@ -59,17 +58,6 @@ fmt(double v, int precision)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
     return buf;
-}
-
-double
-geomean(const std::vector<double> &values)
-{
-    if (values.empty())
-        return 0.0;
-    double log_sum = 0.0;
-    for (double v : values)
-        log_sum += std::log(std::max(v, 1e-12));
-    return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
 } // namespace fuse

@@ -1,8 +1,9 @@
 /**
  * @file
  * Table-rendering helpers shared by the bench binaries: fixed-width
- * columns, geometric means, and normalisation utilities so every figure
- * prints the same row/series layout the paper uses.
+ * columns and number formatting so every figure prints the same
+ * row/series layout the paper uses. The statistical aggregation helpers
+ * (geomean, normalisation) live with the ResultSet in exp/result_set.hh.
  */
 
 #ifndef FUSE_SIM_REPORT_HH
@@ -36,9 +37,6 @@ class Report
 
 /** Format @p v with @p precision decimals. */
 std::string fmt(double v, int precision = 2);
-
-/** Geometric mean of positive values (zeros are clamped to epsilon). */
-double geomean(const std::vector<double> &values);
 
 } // namespace fuse
 

@@ -1,6 +1,8 @@
 /**
  * @file
- * Tests for the sim layer: Report formatting, geomean, SimConfig presets.
+ * Tests for the sim layer: Report formatting and SimConfig presets.
+ * The aggregation helpers (geomean etc.) are covered in test_exp.cc,
+ * where they now live.
  */
 
 #include <gtest/gtest.h>
@@ -18,28 +20,6 @@ TEST(Report, FormatsNumbers)
     EXPECT_EQ(fmt(1.2345, 2), "1.23");
     EXPECT_EQ(fmt(1.0, 0), "1");
     EXPECT_EQ(fmt(-0.5, 1), "-0.5");
-}
-
-TEST(Report, GeomeanOfEqualValues)
-{
-    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
-}
-
-TEST(Report, GeomeanMixed)
-{
-    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
-    EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-9);
-}
-
-TEST(Report, GeomeanEmptyIsZero)
-{
-    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
-}
-
-TEST(Report, GeomeanClampsZeros)
-{
-    // Zeros are clamped to epsilon rather than producing -inf.
-    EXPECT_GT(geomean({0.0, 1.0}), 0.0);
 }
 
 TEST(SimConfig, FermiMatchesTableI)
