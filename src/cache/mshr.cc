@@ -4,66 +4,51 @@ namespace fuse
 {
 
 Mshr::Mshr(std::uint32_t num_entries, StatGroup *stats)
-    : capacity_(num_entries), stats_(stats)
+    : capacity_(num_entries), entries_(num_entries)
 {
-    entries_.reserve(num_entries * 2);
+    if (stats) {
+        statMerged_ = &stats->scalar("mshr_merged");
+        statFullStall_ = &stats->scalar("mshr_full_stall");
+        statAllocated_ = &stats->scalar("mshr_allocated");
+    }
 }
 
 MshrResult
 Mshr::access(Addr line_addr, Cycle ready_at, BankId destination)
 {
-    auto it = entries_.find(line_addr);
-    if (it != entries_.end()) {
-        ++it->second.mergedCount;
-        if (stats_)
-            ++stats_->scalar("mshr_merged");
-        return {MshrResult::Kind::Merged, &it->second};
+    if (MshrEntry *entry = entries_.find(line_addr)) {
+        ++entry->mergedCount;
+        if (statMerged_)
+            ++(*statMerged_);
+        return {MshrResult::Kind::Merged, entry};
     }
     if (entries_.size() >= capacity_) {
-        if (stats_)
-            ++stats_->scalar("mshr_full_stall");
+        if (statFullStall_)
+            ++(*statFullStall_);
         return {MshrResult::Kind::Full, nullptr};
     }
-    MshrEntry entry;
-    entry.lineAddr = line_addr;
-    entry.readyAt = ready_at;
-    entry.destination = destination;
+    MshrEntry *entry = entries_.insert(line_addr);
+    entry->lineAddr = line_addr;
+    entry->readyAt = ready_at;
+    entry->destination = destination;
     if (ready_at < minReadyAt_)
         minReadyAt_ = ready_at;
-    auto [pos, inserted] = entries_.emplace(line_addr, entry);
-    if (stats_)
-        ++stats_->scalar("mshr_allocated");
-    return {MshrResult::Kind::NewMiss, &pos->second};
-}
-
-MshrEntry *
-Mshr::find(Addr line_addr)
-{
-    auto it = entries_.find(line_addr);
-    return it == entries_.end() ? nullptr : &it->second;
+    if (statAllocated_)
+        ++(*statAllocated_);
+    return {MshrResult::Kind::NewMiss, entry};
 }
 
 void
-Mshr::retire(Addr line_addr)
+Mshr::retireReadySlow(Cycle now)
 {
-    entries_.erase(line_addr);
-}
-
-void
-Mshr::retireReady(Cycle now)
-{
-    if (entries_.empty() || now < minReadyAt_)
-        return;
     Cycle new_min = kNever;
-    for (auto it = entries_.begin(); it != entries_.end();) {
-        if (it->second.readyAt <= now) {
-            it = entries_.erase(it);
-        } else {
-            if (it->second.readyAt < new_min)
-                new_min = it->second.readyAt;
-            ++it;
-        }
-    }
+    entries_.forEachErasing([&](Addr, MshrEntry &entry) {
+        if (entry.readyAt <= now)
+            return true;
+        if (entry.readyAt < new_min)
+            new_min = entry.readyAt;
+        return false;
+    });
     minReadyAt_ = new_min;
 }
 

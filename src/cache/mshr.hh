@@ -4,14 +4,18 @@
  * line with its primary miss; carries the paper's extended "destination
  * bits" (internal cache bank ID) so fills route directly to the SRAM or
  * STT-MRAM bank (FUSE §IV-A).
+ *
+ * The entry file is an open-addressing flat table (common/flat_map.hh)
+ * sized from the configured capacity — probed on every L1D access, so it
+ * must not pay std::unordered_map's node allocations and pointer chases.
  */
 
 #ifndef FUSE_CACHE_MSHR_HH
 #define FUSE_CACHE_MSHR_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -44,6 +48,9 @@ struct MshrResult
 /**
  * Fixed-capacity MSHR file keyed by line address. Entries are freed lazily:
  * the owner calls retire() once the fill has been applied to a bank.
+ *
+ * Entry pointers returned by access()/find() are valid only until the next
+ * retire()/retireReady() — the flat table compacts probe chains on erase.
  */
 class Mshr
 {
@@ -59,14 +66,19 @@ class Mshr
     MshrResult access(Addr line_addr, Cycle ready_at, BankId destination);
 
     /** Look up an in-flight entry. */
-    MshrEntry *find(Addr line_addr);
+    MshrEntry *find(Addr line_addr) { return entries_.find(line_addr); }
 
     /** Remove the entry for @p line_addr (fill applied). */
-    void retire(Addr line_addr);
+    void retire(Addr line_addr) { entries_.erase(line_addr); }
 
     /** Free every entry whose readyAt <= now (bulk lazy cleanup).
      *  O(1) when nothing is ready yet (guarded by a cached minimum). */
-    void retireReady(Cycle now);
+    void retireReady(Cycle now)
+    {
+        if (entries_.empty() || now < minReadyAt_)
+            return;
+        retireReadySlow(now);
+    }
 
     /** Earliest in-flight fill time — when a Full stall can retry. */
     Cycle minReadyAt() const { return minReadyAt_; }
@@ -83,11 +95,17 @@ class Mshr
   private:
     static constexpr Cycle kNever = ~Cycle(0);
 
+    void retireReadySlow(Cycle now);
+
     std::uint32_t capacity_;
-    std::unordered_map<Addr, MshrEntry> entries_;
-    StatGroup *stats_;
+    FlatAddrMap<MshrEntry> entries_;
     /** Lower bound on the smallest readyAt among entries. */
     Cycle minReadyAt_ = kNever;
+    // Hot-path counters cached out of the string-keyed map (null when the
+    // owner passed no stats group).
+    StatGroup::Scalar *statMerged_ = nullptr;
+    StatGroup::Scalar *statFullStall_ = nullptr;
+    StatGroup::Scalar *statAllocated_ = nullptr;
 };
 
 } // namespace fuse

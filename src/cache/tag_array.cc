@@ -15,6 +15,10 @@ TagArray::TagArray(std::uint32_t num_sets, std::uint32_t num_ways,
     if (num_sets == 0 || num_ways == 0)
         fuse_fatal("tag array needs nonzero geometry (%u sets, %u ways)",
                    num_sets, num_ways);
+    if ((num_sets & (num_sets - 1)) == 0)
+        setMask_ = num_sets - 1;
+    if (num_ways > kIndexedWaysThreshold)
+        index_ = std::make_unique<FlatAddrMap<std::uint32_t>>(numLines());
 }
 
 std::vector<CacheLine> &
@@ -23,30 +27,39 @@ TagArray::setOf(Addr line_addr)
     return sets_[setIndex(line_addr)];
 }
 
+std::uint32_t
+TagArray::wayOf(Addr line_addr, const std::vector<CacheLine> &ways) const
+{
+    if (index_) {
+        const std::uint32_t *w = index_->find(line_addr);
+        return w ? *w : kWayNone;
+    }
+    for (std::uint32_t w = 0; w < numWays_; ++w) {
+        if (ways[w].valid && ways[w].tag == line_addr)
+            return w;
+    }
+    return kWayNone;
+}
+
 CacheLine *
 TagArray::probe(Addr line_addr, Cycle now)
 {
     std::uint32_t set = setIndex(line_addr);
     auto &ways = sets_[set];
-    for (std::uint32_t w = 0; w < numWays_; ++w) {
-        if (ways[w].valid && ways[w].tag == line_addr) {
-            ways[w].lastTouch = now;
-            repl_->touch(set, w, numWays_);
-            return &ways[w];
-        }
-    }
-    return nullptr;
+    const std::uint32_t w = wayOf(line_addr, ways);
+    if (w == kWayNone)
+        return nullptr;
+    ways[w].lastTouch = now;
+    repl_->touch(set, w, numWays_);
+    return &ways[w];
 }
 
 const CacheLine *
 TagArray::peek(Addr line_addr) const
 {
-    const auto &ways = sets_[static_cast<std::uint32_t>(line_addr % numSets_)];
-    for (const auto &line : ways) {
-        if (line.valid && line.tag == line_addr)
-            return &line;
-    }
-    return nullptr;
+    const auto &ways = sets_[setIndex(line_addr)];
+    const std::uint32_t w = wayOf(line_addr, ways);
+    return w == kWayNone ? nullptr : &ways[w];
 }
 
 std::optional<Eviction>
@@ -56,14 +69,13 @@ TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
     auto &ways = sets_[set];
 
     // Refill over an existing copy (shouldn't normally happen, but be safe).
-    for (std::uint32_t w = 0; w < numWays_; ++w) {
-        if (ways[w].valid && ways[w].tag == line_addr) {
-            ways[w].lastTouch = now;
-            repl_->touch(set, w, numWays_);
-            if (filled)
-                *filled = &ways[w];
-            return std::nullopt;
-        }
+    const std::uint32_t resident = wayOf(line_addr, ways);
+    if (resident != kWayNone) {
+        ways[resident].lastTouch = now;
+        repl_->touch(set, resident, numWays_);
+        if (filled)
+            *filled = &ways[resident];
+        return std::nullopt;
     }
 
     // Prefer an invalid way.
@@ -71,6 +83,8 @@ TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
         if (!ways[w].valid) {
             ways[w].resetForFill(line_addr, now);
             repl_->touch(set, w, numWays_);
+            if (index_)
+                *index_->insert(line_addr) = w;
             if (filled)
                 *filled = &ways[w];
             return std::nullopt;
@@ -80,6 +94,10 @@ TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
     // Evict per policy.
     std::uint32_t victim = repl_->victim(ways, set);
     Eviction ev{ways[victim]};
+    if (index_) {
+        index_->erase(ev.line.tag);
+        *index_->insert(line_addr) = victim;
+    }
     ways[victim].resetForFill(line_addr, now);
     repl_->touch(set, victim, numWays_);
     if (filled)
@@ -91,14 +109,14 @@ std::optional<CacheLine>
 TagArray::invalidate(Addr line_addr)
 {
     auto &ways = setOf(line_addr);
-    for (auto &line : ways) {
-        if (line.valid && line.tag == line_addr) {
-            CacheLine copy = line;
-            line.valid = false;
-            return copy;
-        }
-    }
-    return std::nullopt;
+    const std::uint32_t w = wayOf(line_addr, ways);
+    if (w == kWayNone)
+        return std::nullopt;
+    CacheLine copy = ways[w];
+    ways[w].valid = false;
+    if (index_)
+        index_->erase(line_addr);
+    return copy;
 }
 
 std::uint32_t
@@ -131,6 +149,8 @@ TagArray::clear()
         for (auto &line : ways)
             line = CacheLine{};
     }
+    if (index_)
+        index_->clear();
 }
 
 } // namespace fuse

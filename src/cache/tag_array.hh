@@ -15,6 +15,7 @@
 
 #include "cache/line.hh"
 #include "cache/replacement.hh"
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace fuse
@@ -67,6 +68,10 @@ class TagArray
     /** Set index for @p line_addr (exposed for the approximation logic). */
     std::uint32_t setIndex(Addr line_addr) const
     {
+        // Sets are almost always a power of two; the mask dodges the
+        // integer division on the per-access hot path.
+        if (setMask_ != kNoMask)
+            return static_cast<std::uint32_t>(line_addr & setMask_);
         return static_cast<std::uint32_t>(line_addr % numSets_);
     }
 
@@ -77,12 +82,27 @@ class TagArray
     void clear();
 
   private:
+    static constexpr Addr kNoMask = ~Addr(0);
+    /** Ways above which lookups go through the residency index instead of
+     *  a linear way scan (the approximated fully-associative STT bank has
+     *  hundreds of ways; a 2-4 way SRAM bank scans faster directly). */
+    static constexpr std::uint32_t kIndexedWaysThreshold = 8;
+
     std::vector<CacheLine> &setOf(Addr line_addr);
+
+    /** Way of @p line_addr in its set, or kWayNone. */
+    static constexpr std::uint32_t kWayNone = ~std::uint32_t(0);
+    std::uint32_t wayOf(Addr line_addr, const std::vector<CacheLine> &ways)
+        const;
 
     std::uint32_t numSets_;
     std::uint32_t numWays_;
+    Addr setMask_ = kNoMask;   ///< numSets_-1 when numSets_ is a power of 2.
     std::vector<std::vector<CacheLine>> sets_;
     std::unique_ptr<ReplacementPolicy> repl_;
+    /** line address -> way residency index; maintained by fill/invalidate/
+     *  clear, only for wide arrays (see kIndexedWaysThreshold). */
+    std::unique_ptr<FlatAddrMap<std::uint32_t>> index_;
 };
 
 } // namespace fuse

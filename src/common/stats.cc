@@ -28,6 +28,13 @@ StatGroup::has(const std::string &name) const
     return scalars_.count(name) != 0;
 }
 
+const StatGroup::Average *
+StatGroup::findAverage(const std::string &name) const
+{
+    auto it = averages_.find(name);
+    return it == averages_.end() ? nullptr : &it->second;
+}
+
 void
 StatGroup::merge(const StatGroup &other)
 {

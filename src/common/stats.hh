@@ -21,6 +21,14 @@ namespace fuse
  * A flat collection of named statistics. Components own a StatGroup (or
  * share their parent's) and create counters through it; the group can render
  * every stat to a stream and merge with sibling groups.
+ *
+ * Handle stability: references returned by scalar()/average() stay valid
+ * and live for the lifetime of the group (node-based map storage — later
+ * insertions never move existing stats, and merge()/reset() update values
+ * in place). Components on the simulation hot path are expected to fetch
+ * their counters once at construction and increment through the cached
+ * handle; a string-keyed scalar("...") lookup per cache access is exactly
+ * the overhead this framework must not impose.
  */
 class StatGroup
 {
@@ -73,6 +81,11 @@ class StatGroup
     double get(const std::string &name) const;
     /** True if a scalar with @p name exists. */
     bool has(const std::string &name) const;
+
+    /** Read-only lookup of an average; nullptr if absent. Unlike
+     *  average(), never creates the stat, so it is const-safe for
+     *  reporting code. */
+    const Average *findAverage(const std::string &name) const;
 
     /** Add every scalar/average of @p other into this group. */
     void merge(const StatGroup &other);

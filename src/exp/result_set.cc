@@ -11,6 +11,10 @@ namespace fuse
 double
 geomean(const std::vector<double> &values)
 {
+    // The empty-vector guard is load-bearing: exp(0/0) is NaN, and a NaN
+    // here poisons every normalised figure column built on top of the
+    // mean (regression-guarded by test_exp's GeomeanEmptyIsZero /
+    // GeomeanNeverNan).
     if (values.empty())
         return 0.0;
     double log_sum = 0.0;

@@ -47,11 +47,16 @@ parallelFor(std::size_t n, unsigned threads,
 unsigned
 defaultThreadCount()
 {
+    // A malformed/zero/negative FUSE_THREADS falls through to the
+    // hardware count rather than poisoning the pool size.
     if (const char *env = std::getenv("FUSE_THREADS")) {
         const long n = std::strtol(env, nullptr, 10);
         if (n > 0)
             return static_cast<unsigned>(n);
     }
+    // hardware_concurrency() is allowed to return 0 ("unknown"); clamp
+    // so a sweep can never construct a zero-thread pool (regression-
+    // guarded by test_exp's DefaultThreadCountIsAtLeastOne).
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }

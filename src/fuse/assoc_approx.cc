@@ -34,6 +34,12 @@ AssocApprox::AssocApprox(const AssocApproxConfig &config,
                            config.counterBits);
     residents_.resize(config.numCbfs);
     lastSaturations_.assign(config.numCbfs, 0);
+    statRefreshes_ = &stats_.scalar("cbf_refreshes");
+    statInserts_ = &stats_.scalar("inserts");
+    statRemoves_ = &stats_.scalar("removes");
+    statSearches_ = &stats_.scalar("searches");
+    statFalsePositivePolls_ = &stats_.scalar("false_positive_polls");
+    statSearchCycles_ = &stats_.average("search_cycles");
 }
 
 void
@@ -43,7 +49,7 @@ AssocApprox::refresh(std::uint32_t p)
     for (Addr line : residents_[p])
         cbfs_[p].insert(line);
     lastSaturations_[p] = cbfs_[p].saturations();
-    ++stats_.scalar("cbf_refreshes");
+    ++(*statRefreshes_);
 }
 
 std::uint32_t
@@ -59,7 +65,7 @@ AssocApprox::insert(Addr line_addr)
     const std::uint32_t p = partitionOf(line_addr);
     cbfs_[p].insert(line_addr);
     residents_[p].push_back(line_addr);
-    ++stats_.scalar("inserts");
+    ++(*statInserts_);
 }
 
 void
@@ -78,7 +84,7 @@ AssocApprox::remove(Addr line_addr)
     // from its resident tags to clear the residue.
     if (cbfs_[p].saturations() != lastSaturations_[p])
         refresh(p);
-    ++stats_.scalar("removes");
+    ++(*statRemoves_);
 }
 
 TagSearchResult
@@ -97,8 +103,8 @@ AssocApprox::search(Addr line_addr, bool actually_present)
     if (!positive) {
         // Definite miss: no polling at all.
         result.found = false;
-        ++stats_.scalar("searches");
-        stats_.average("search_cycles").sample(result.cycles);
+        ++(*statSearches_);
+        statSearchCycles_->sample(result.cycles);
         return result;
     }
 
@@ -111,20 +117,17 @@ AssocApprox::search(Addr line_addr, bool actually_present)
     result.found = actually_present;
     result.falsePositive = !actually_present;
     if (result.falsePositive)
-        ++stats_.scalar("false_positive_polls");
+        ++(*statFalsePositivePolls_);
 
-    ++stats_.scalar("searches");
-    stats_.average("search_cycles").sample(result.cycles);
+    ++(*statSearches_);
+    statSearchCycles_->sample(result.cycles);
     return result;
 }
 
 double
 AssocApprox::averageSearchCycles() const
 {
-    // StatGroup::average() is create-or-fetch and therefore non-const;
-    // reading through a mutable alias is safe here.
-    auto &self = const_cast<AssocApprox &>(*this);
-    return self.stats_.average("search_cycles").mean();
+    return statSearchCycles_->mean();
 }
 
 } // namespace fuse

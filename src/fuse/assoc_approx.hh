@@ -100,6 +100,13 @@ class AssocApprox
     std::vector<std::uint64_t> lastSaturations_;
     BloomAccuracy accuracy_;
     StatGroup stats_;
+    // Cached hot-path stats: search() runs per STT-side L1D access.
+    StatGroup::Scalar *statRefreshes_;
+    StatGroup::Scalar *statInserts_;
+    StatGroup::Scalar *statRemoves_;
+    StatGroup::Scalar *statSearches_;
+    StatGroup::Scalar *statFalsePositivePolls_;
+    StatGroup::Average *statSearchCycles_;
 };
 
 } // namespace fuse

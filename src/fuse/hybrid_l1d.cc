@@ -37,6 +37,18 @@ HybridL1D::HybridL1D(const HybridL1DConfig &config,
         approx_ = std::make_unique<AssocApprox>(
             config.approx, stt_.tags().numLines());
     }
+    statStallTagSearch_ = &stats_.scalar("stall_tag_search");
+    statMigrationsSramToStt_ = &stats_.scalar("migrations_sram_to_stt");
+    statMigrationsSttToSram_ = &stats_.scalar("migrations_stt_to_sram");
+    statMigrationsDrained_ = &stats_.scalar("migrations_drained");
+    statMigrationFallback_ = &stats_.scalar("migration_fallback_to_l2");
+    statWoroEvictions_ = &stats_.scalar("woro_evictions_to_l2");
+    statStallStt_ = &stats_.scalar("stall_stt");
+    statSramHits_ = &stats_.scalar("sram_hits");
+    statSttReadHits_ = &stats_.scalar("stt_read_hits");
+    statSttWriteHits_ = &stats_.scalar("stt_write_hits");
+    statSttQueuedReads_ = &stats_.scalar("stt_queued_reads");
+    statSwapBufferHits_ = &stats_.scalar("swap_buffer_hits");
 }
 
 std::uint32_t
@@ -49,7 +61,7 @@ HybridL1D::sttSearchCycles(Addr line, bool present)
         // Serialized polling beyond the CBF test cycle is the tag-search
         // overhead Fig. 15 plots; the tag queue hides it from the SM
         // pipeline, but the cycles still occupy the search circuit.
-        stats_.scalar("stall_tag_search") += search.cycles - 1;
+        (*statStallTagSearch_) += search.cycles - 1;
     }
     return search.cycles;
 }
@@ -64,7 +76,7 @@ HybridL1D::evictToL2(const CacheLine &line, SmId sm, Cycle now)
         wb.smId = sm;
         wb.type = AccessType::Write;
         hierarchy_->writeback(wb, now);
-        ++stats_.scalar("writebacks");
+        ++(*statWritebacks_);
     }
 }
 
@@ -101,14 +113,14 @@ HybridL1D::migrateToStt(const CacheLine &victim, SmId sm, Cycle now)
                 approx_->remove(stt_evicted->line.tag);
             evictToL2(stt_evicted->line, sm, now);
         }
-        ++stats_.scalar("migrations_sram_to_stt");
+        ++(*statMigrationsSramToStt_);
         return true;
     }
 
     // FUSE path: park the line in the swap buffer and queue an "F"
     // migration command; the drain happens in tick() when the bank frees.
     if (swapBuffer_.full() || tagQueue_.full()) {
-        ++stats_.scalar("stall_stt");
+        ++(*statStallStt_);
         return false;
     }
     swapBuffer_.push(victim);
@@ -117,7 +129,7 @@ HybridL1D::migrateToStt(const CacheLine &victim, SmId sm, Cycle now)
     entry.lineAddr = victim.tag;
     entry.enqueuedAt = now;
     tagQueue_.push(entry);
-    ++stats_.scalar("migrations_sram_to_stt");
+    ++(*statMigrationsSramToStt_);
     return true;
 }
 
@@ -146,13 +158,13 @@ HybridL1D::sttHit(const MemRequest &req, Cycle now)
         Cycle done = 0;
         stt_.access(line, AccessType::Read, now, &done);
         countHit(req);
-        ++stats_.scalar("stt_read_hits");
+        ++(*statSttReadHits_);
         return {L1DResult::Kind::Hit, done};
     }
 
     // Write hit on STT-MRAM data: a misprediction (WM block placed in the
     // read-oriented bank).
-    ++stats_.scalar("stt_write_hits");
+    ++(*statSttWriteHits_);
     if (config_.usePredictor) {
         // Dy-FUSE: migrate the block to SRAM right away, invalidate the
         // STT copy, and serve the write from SRAM (§III-A). The payload
@@ -175,7 +187,7 @@ HybridL1D::sttHit(const MemRequest &req, Cycle now)
         }
         if (victim && !migrateToStt(victim->line, req.smId, now))
             evictToL2(victim->line, req.smId, now);
-        ++stats_.scalar("migrations_stt_to_sram");
+        ++(*statMigrationsSttToSram_);
         countHit(req);
         return {L1DResult::Kind::Hit, done + 1};
     }
@@ -213,7 +225,7 @@ HybridL1D::fillSram(const MemRequest &req, Cycle now)
         && victim->line.hasPrediction
         && victim->line.predictedLevel == ReadLevel::WORO) {
         evictToL2(victim->line, req.smId, now);
-        ++stats_.scalar("woro_evictions_to_l2");
+        ++(*statWoroEvictions_);
         return true;
     }
     if (!migrateToStt(victim->line, req.smId, now)) {
@@ -221,7 +233,7 @@ HybridL1D::fillSram(const MemRequest &req, Cycle now)
         // when the same access triggered multiple evictions): drop the
         // victim to L2 rather than lose the fill.
         evictToL2(victim->line, req.smId, now);
-        ++stats_.scalar("migration_fallback_to_l2");
+        ++(*statMigrationFallback_);
     }
     return true;
 }
@@ -232,7 +244,7 @@ HybridL1D::fillStt(const MemRequest &req, Cycle now)
     const Addr line = req.line();
     if (config_.nonBlocking) {
         if (tagQueue_.full()) {
-            ++stats_.scalar("stall_stt");
+            ++(*statStallStt_);
             return false;
         }
         TagQueueEntry entry;
@@ -300,7 +312,7 @@ HybridL1D::handleMiss(const MemRequest &req, Cycle now)
     // already booked off-chip bandwidth: MSHR space, and (for STT fills
     // under the non-blocking design) a tag-queue slot.
     if (mshr_.full()) {
-        ++stats_.scalar("stall_mshr_full");
+        ++(*statStallMshrFull_);
         return {L1DResult::Kind::Stall,
                 std::max(now + 1, mshr_.minReadyAt())};
     }
@@ -309,14 +321,14 @@ HybridL1D::handleMiss(const MemRequest &req, Cycle now)
         // The fill may evict an SRAM line whose migration needs a swap
         // buffer slot and a tag-queue entry; real hardware holds the fill
         // until the drain frees them.
-        stats_.scalar("stall_stt") += static_cast<double>(
+        (*statStallStt_) += static_cast<double>(
             std::max<Cycle>(stt_.fillBusyUntil(), now + 1) - now);
         return {L1DResult::Kind::Stall,
                 std::max(now + 1, stt_.fillBusyUntil())};
     }
     if (destination == BankId::SttMram && config_.nonBlocking
         && tagQueue_.full()) {
-        stats_.scalar("stall_stt") +=
+        (*statStallStt_) +=
             static_cast<double>(std::max<Cycle>(stt_.busyUntil(), now + 1)
                                 - now);
         return {L1DResult::Kind::Stall,
@@ -349,14 +361,14 @@ HybridL1D::access(const MemRequest &req, Cycle now)
     // flight (§V: "any write on STT-MRAM will result in a long L1D stall").
     if (!config_.nonBlocking && stt_.busy(now)) {
         // The whole L1D blocks until the in-flight MTJ write finishes.
-        stats_.scalar("stall_stt") +=
+        (*statStallStt_) +=
             static_cast<double>(stt_.busyUntil() - now);
         return {L1DResult::Kind::Stall, stt_.busyUntil()};
     }
 
     if (MshrEntry *inflight = mshr_.find(line)) {
         countMiss(req);
-        ++stats_.scalar("mshr_secondary");
+        ++(*statMshrSecondary_);
         return {L1DResult::Kind::Miss,
                 std::max(now + 1, inflight->readyAt)};
     }
@@ -366,14 +378,14 @@ HybridL1D::access(const MemRequest &req, Cycle now)
     Cycle done = 0;
     if (sram_.access(line, req.type, now, &done)) {
         countHit(req);
-        ++stats_.scalar("sram_hits");
+        ++(*statSramHits_);
         return {L1DResult::Kind::Hit, done};
     }
 
     // Swap-buffer snoop: a line mid-migration is immediately readable.
     if (CacheLine *parked = swapBuffer_.find(line)) {
         countHit(req);
-        ++stats_.scalar("swap_buffer_hits");
+        ++(*statSwapBufferHits_);
         if (req.isWrite()) {
             parked->dirty = true;
             ++parked->writeCount;
@@ -397,7 +409,7 @@ HybridL1D::access(const MemRequest &req, Cycle now)
                 return sttHit(req, now);
             }
             if (tagQueue_.full()) {
-                stats_.scalar("stall_stt") += static_cast<double>(
+                (*statStallStt_) += static_cast<double>(
                     std::max<Cycle>(stt_.busyUntil(), now + 1) - now);
                 return {L1DResult::Kind::Stall,
                         std::max(now + 1, stt_.busyUntil())};
@@ -414,7 +426,7 @@ HybridL1D::access(const MemRequest &req, Cycle now)
             if (hit_line)
                 ++hit_line->readCount;
             countHit(req);
-            ++stats_.scalar("stt_queued_reads");
+            ++(*statSttQueuedReads_);
             return {L1DResult::Kind::Hit, ready};
         }
         L1DResult result = sttHit(req, now);
@@ -466,7 +478,7 @@ HybridL1D::tick(Cycle now)
                 approx_->remove(stt_evicted->line.tag);
             evictToL2(stt_evicted->line, /*sm=*/0, now);
         }
-        ++stats_.scalar("migrations_drained");
+        ++(*statMigrationsDrained_);
         break;
       }
     }

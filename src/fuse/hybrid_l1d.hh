@@ -60,7 +60,17 @@ class HybridL1D : public L1DCache
 
     L1DResult access(const MemRequest &req, Cycle now) override;
     void tick(Cycle now) override;
+    bool tickIdle() const override
+    {
+        // tick() only drains the tag queue; with nothing queued it is a
+        // guaranteed no-op until the next access enqueues work.
+        return !config_.nonBlocking || tagQueue_.empty();
+    }
     L1DKind kind() const override { return config_.kindOf(); }
+    const StatGroup *predictorStats() const override
+    {
+        return &predictor_.stats();
+    }
 
     CacheBank &sramBank() { return sram_; }
     CacheBank &sttBank() { return stt_; }
@@ -112,6 +122,22 @@ class HybridL1D : public L1DCache
     SwapBuffer swapBuffer_;
     ReadLevelPredictor predictor_;
     std::unique_ptr<AssocApprox> approx_;
+
+    // Hot-path counters cached out of the string-keyed map at
+    // construction (see StatGroup handle-stability contract; the common
+    // MSHR/writeback counters live in the L1DCache base).
+    StatGroup::Scalar *statStallTagSearch_;
+    StatGroup::Scalar *statMigrationsSramToStt_;
+    StatGroup::Scalar *statMigrationsSttToSram_;
+    StatGroup::Scalar *statMigrationsDrained_;
+    StatGroup::Scalar *statMigrationFallback_;
+    StatGroup::Scalar *statWoroEvictions_;
+    StatGroup::Scalar *statStallStt_;
+    StatGroup::Scalar *statSramHits_;
+    StatGroup::Scalar *statSttReadHits_;
+    StatGroup::Scalar *statSttWriteHits_;
+    StatGroup::Scalar *statSttQueuedReads_;
+    StatGroup::Scalar *statSwapBufferHits_;
 };
 
 } // namespace fuse

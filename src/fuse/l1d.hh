@@ -77,6 +77,9 @@ class L1DCache
         statBypasses_ = &stats_.scalar("bypasses");
         statReadBypasses_ = &stats_.scalar("read_bypasses");
         statWriteBypasses_ = &stats_.scalar("write_bypasses");
+        statMshrSecondary_ = &stats_.scalar("mshr_secondary");
+        statStallMshrFull_ = &stats_.scalar("stall_mshr_full");
+        statWritebacks_ = &stats_.scalar("writebacks");
     }
     virtual ~L1DCache() = default;
 
@@ -89,8 +92,23 @@ class L1DCache
     /** Per-cycle housekeeping (tag-queue drain etc.). Default: none. */
     virtual void tick(Cycle now) { (void)now; }
 
+    /**
+     * True when tick() is guaranteed to be a no-op at every cycle until
+     * the next access() — the GPU loop uses this to fast-forward across
+     * all-warps-asleep windows. Organisations with deferred work (a
+     * non-empty tag queue) must return false.
+     */
+    virtual bool tickIdle() const { return true; }
+
     /** Organisation identity (for reports). */
     virtual L1DKind kind() const = 0;
+
+    /**
+     * Stats of the read-level predictor, when this organisation has one
+     * whose accuracy the paper reports (Dy-FUSE family). Replaces the
+     * per-SM dynamic_cast the metrics extraction used to do per run.
+     */
+    virtual const StatGroup *predictorStats() const { return nullptr; }
 
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
@@ -106,6 +124,12 @@ class L1DCache
 
     StatGroup stats_;
     MemoryHierarchy *hierarchy_;
+
+    // Counters shared by every MSHR-bearing organisation, cached once at
+    // construction (see the StatGroup handle-stability contract).
+    StatGroup::Scalar *statMshrSecondary_;
+    StatGroup::Scalar *statStallMshrFull_;
+    StatGroup::Scalar *statWritebacks_;
 
   private:
     // Hot-path counters cached out of the string-keyed map.

@@ -16,6 +16,7 @@ NvmBypassL1D::NvmBypassL1D(const NvmL1DConfig &config,
       mshr_(config.mshrEntries, &stats_),
       predictor_(config.predictor)
 {
+    statStallSttBusy_ = &stats_.scalar("stall_stt_busy");
 }
 
 double
@@ -37,7 +38,7 @@ NvmBypassL1D::access(const MemRequest &req, Cycle now)
 
     if (MshrEntry *inflight = mshr_.find(line)) {
         countMiss(req);
-        ++stats_.scalar("mshr_secondary");
+        ++(*statMshrSecondary_);
         return {L1DResult::Kind::Miss,
                 std::max(now + 1, inflight->readyAt)};
     }
@@ -46,7 +47,7 @@ NvmBypassL1D::access(const MemRequest &req, Cycle now)
     // arrives while a write is in flight stalls the L1D (no tag queue in
     // this organisation).
     if (bank_.busy(now)) {
-        stats_.scalar("stall_stt_busy") +=
+        (*statStallSttBusy_) +=
             static_cast<double>(bank_.busyUntil() - now);
         return {L1DResult::Kind::Stall, bank_.busyUntil()};
     }
@@ -72,7 +73,7 @@ NvmBypassL1D::access(const MemRequest &req, Cycle now)
     // Structural check first: a stalled access must be able to retry
     // without having already booked off-chip bandwidth.
     if (mshr_.full()) {
-        ++stats_.scalar("stall_mshr_full");
+        ++(*statStallMshrFull_);
         return {L1DResult::Kind::Stall,
                 std::max(now + 1, mshr_.minReadyAt())};
     }
@@ -90,7 +91,7 @@ NvmBypassL1D::access(const MemRequest &req, Cycle now)
         wb.smId = req.smId;
         wb.type = AccessType::Write;
         hierarchy_->writeback(wb, now);
-        ++stats_.scalar("writebacks");
+        ++(*statWritebacks_);
     }
     return {L1DResult::Kind::Miss, off.doneAt};
 }

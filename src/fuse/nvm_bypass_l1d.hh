@@ -51,6 +51,8 @@ class NvmBypassL1D : public L1DCache
     CacheBank bank_;
     Mshr mshr_;
     ReadLevelPredictor predictor_;
+    /** Cached: incremented whenever an access stalls on a busy MTJ write. */
+    StatGroup::Scalar *statStallSttBusy_;
 };
 
 } // namespace fuse

@@ -14,6 +14,14 @@ ReadLevelPredictor::ReadLevelPredictor(const PredictorConfig &config)
                             false}),
       stats_("predictor")
 {
+    statSampledRequests_ = &stats_.scalar("sampled_requests");
+    statSamplerHits_ = &stats_.scalar("sampler_hits");
+    statSamplerEvictions_ = &stats_.scalar("sampler_evictions");
+    statSamplerFills_ = &stats_.scalar("sampler_fills");
+    statOutcomes_ = &stats_.scalar("outcomes");
+    statPredTrue_ = &stats_.scalar("pred_true");
+    statPredFalse_ = &stats_.scalar("pred_false");
+    statPredNeutral_ = &stats_.scalar("pred_neutral");
     if (config.samplerSets == 0 || config.samplerWays == 0)
         fuse_fatal("sampler needs nonzero geometry");
     if (config.historyEntries == 0)
@@ -68,7 +76,7 @@ ReadLevelPredictor::observe(const MemRequest &req)
     // kernel execute the same instructions, so a few suffice (§IV-B).
     if (req.warpId % (48 / config_.sampledWarps) != 0)
         return;
-    ++stats_.scalar("sampled_requests");
+    ++(*statSampledRequests_);
 
     const std::uint32_t set =
         (req.warpId / (48 / config_.sampledWarps)) % config_.samplerSets;
@@ -93,7 +101,7 @@ ReadLevelPredictor::observe(const MemRequest &req)
             if (req.isWrite())
                 h.isWrite = true;
             samplerTouch(set, w);
-            ++stats_.scalar("sampler_hits");
+            ++(*statSamplerHits_);
             return;
         }
     }
@@ -112,7 +120,7 @@ ReadLevelPredictor::observe(const MemRequest &req)
         // read-level 'R'; only write re-references flip it to 'W'.
         if (!v.wroteSinceFill && h.counter == 0)
             h.isWrite = false;
-        ++stats_.scalar("sampler_evictions");
+        ++(*statSamplerEvictions_);
     }
     v.valid = true;
     v.used = false;
@@ -120,7 +128,7 @@ ReadLevelPredictor::observe(const MemRequest &req)
     v.tag = tag;
     v.signature = sig;
     samplerTouch(set, victim);
-    ++stats_.scalar("sampler_fills");
+    ++(*statSamplerFills_);
 }
 
 ReadLevel
@@ -139,22 +147,22 @@ void
 ReadLevelPredictor::recordOutcome(ReadLevel predicted, std::uint32_t writes,
                                   std::uint32_t reads)
 {
-    ++stats_.scalar("outcomes");
+    ++(*statOutcomes_);
     const bool multi_write = writes > 1;
     const bool single_write_or_less = writes <= 1;
     switch (predicted) {
       case ReadLevel::WM:
         if (multi_write)
-            ++stats_.scalar("pred_true");
+            ++(*statPredTrue_);
         else
-            ++stats_.scalar("pred_false");
+            ++(*statPredFalse_);
         break;
       case ReadLevel::WORM:
       case ReadLevel::WORO:
         if (single_write_or_less)
-            ++stats_.scalar("pred_true");
+            ++(*statPredTrue_);
         else
-            ++stats_.scalar("pred_false");
+            ++(*statPredFalse_);
         break;
       case ReadLevel::ReadIntensive:
         // The neutral zone still drives a concrete placement (STT-MRAM,
@@ -162,11 +170,11 @@ ReadLevelPredictor::recordOutcome(ReadLevel predicted, std::uint32_t writes,
         // read-oriented. Blocks that were never touched again are the
         // genuinely undecidable "neutral" outcomes of Fig. 16.
         if (multi_write)
-            ++stats_.scalar("pred_false");
+            ++(*statPredFalse_);
         else if (reads >= 1)
-            ++stats_.scalar("pred_true");
+            ++(*statPredTrue_);
         else
-            ++stats_.scalar("pred_neutral");
+            ++(*statPredNeutral_);
         break;
     }
 }

@@ -67,6 +67,7 @@ class ReadLevelPredictor
 
     const PredictorConfig &config() const { return config_; }
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
 
     /** Signature of @p pc (exposed for tests). */
     std::uint32_t signatureOf(Addr pc) const;
@@ -95,6 +96,16 @@ class ReadLevelPredictor
     std::vector<std::vector<SamplerEntry>> sampler_;
     std::vector<HistoryEntry> history_;
     StatGroup stats_;
+    // Cached counters: observe() runs for every sampled request and
+    // recordOutcome() for every evicted block.
+    StatGroup::Scalar *statSampledRequests_;
+    StatGroup::Scalar *statSamplerHits_;
+    StatGroup::Scalar *statSamplerEvictions_;
+    StatGroup::Scalar *statSamplerFills_;
+    StatGroup::Scalar *statOutcomes_;
+    StatGroup::Scalar *statPredTrue_;
+    StatGroup::Scalar *statPredFalse_;
+    StatGroup::Scalar *statPredNeutral_;
 };
 
 } // namespace fuse

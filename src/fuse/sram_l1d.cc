@@ -50,7 +50,7 @@ SramL1D::access(const MemRequest &req, Cycle now)
     // (the fill was applied eagerly; data arrives at readyAt).
     if (MshrEntry *inflight = mshr_.find(line)) {
         countMiss(req);
-        ++stats_.scalar("mshr_secondary");
+        ++(*statMshrSecondary_);
         return {L1DResult::Kind::Miss,
                 std::max(now + 1, inflight->readyAt)};
     }
@@ -66,7 +66,7 @@ SramL1D::access(const MemRequest &req, Cycle now)
     // off-chip request is issued so a stalled access can retry without
     // double-booking network/DRAM bandwidth.
     if (mshr_.full()) {
-        ++stats_.scalar("stall_mshr_full");
+        ++(*statStallMshrFull_);
         return {L1DResult::Kind::Stall,
                 std::max(now + 1, mshr_.minReadyAt())};
     }
@@ -84,7 +84,7 @@ SramL1D::access(const MemRequest &req, Cycle now)
         wb.smId = req.smId;
         wb.type = AccessType::Write;
         hierarchy_->writeback(wb, now);
-        ++stats_.scalar("writebacks");
+        ++(*statWritebacks_);
     }
     return {L1DResult::Kind::Miss, off.doneAt};
 }

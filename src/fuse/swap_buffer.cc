@@ -6,22 +6,26 @@ namespace fuse
 {
 
 SwapBuffer::SwapBuffer(std::uint32_t capacity, StatGroup *stats)
-    : capacity_(capacity), stats_(stats)
+    : capacity_(capacity)
 {
     entries_.reserve(capacity);
+    if (stats) {
+        statFull_ = &stats->scalar("swap_buffer_full");
+        statPushes_ = &stats->scalar("swap_buffer_pushes");
+    }
 }
 
 bool
 SwapBuffer::push(const CacheLine &line)
 {
     if (full()) {
-        if (stats_)
-            ++stats_->scalar("swap_buffer_full");
+        if (statFull_)
+            ++(*statFull_);
         return false;
     }
     entries_.push_back(line);
-    if (stats_)
-        ++stats_->scalar("swap_buffer_pushes");
+    if (statPushes_)
+        ++(*statPushes_);
     return true;
 }
 

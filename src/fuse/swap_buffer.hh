@@ -56,7 +56,9 @@ class SwapBuffer
   private:
     std::uint32_t capacity_;
     std::vector<CacheLine> entries_;
-    StatGroup *stats_;
+    // Cached counters (null without a stats group).
+    StatGroup::Scalar *statFull_ = nullptr;
+    StatGroup::Scalar *statPushes_ = nullptr;
 };
 
 } // namespace fuse

@@ -4,21 +4,27 @@ namespace fuse
 {
 
 TagQueue::TagQueue(std::uint32_t capacity, StatGroup *stats)
-    : capacity_(capacity), stats_(stats)
+    : capacity_(capacity)
 {
+    if (stats) {
+        statFull_ = &stats->scalar("tag_queue_full");
+        statPushes_ = &stats->scalar("tag_queue_pushes");
+        statFlushes_ = &stats->scalar("tag_queue_flushes");
+        statFlushedEntries_ = &stats->scalar("tag_queue_flushed_entries");
+    }
 }
 
 bool
 TagQueue::push(const TagQueueEntry &entry)
 {
     if (full()) {
-        if (stats_)
-            ++stats_->scalar("tag_queue_full");
+        if (statFull_)
+            ++(*statFull_);
         return false;
     }
     queue_.push_back(entry);
-    if (stats_)
-        ++stats_->scalar("tag_queue_pushes");
+    if (statPushes_)
+        ++(*statPushes_);
     return true;
 }
 
@@ -40,9 +46,9 @@ TagQueue::flush()
 {
     auto dropped = static_cast<std::uint32_t>(queue_.size());
     queue_.clear();
-    if (stats_) {
-        ++stats_->scalar("tag_queue_flushes");
-        stats_->scalar("tag_queue_flushed_entries") += dropped;
+    if (statFlushes_) {
+        ++(*statFlushes_);
+        (*statFlushedEntries_) += dropped;
     }
     return dropped;
 }

@@ -76,7 +76,12 @@ class TagQueue
   private:
     std::uint32_t capacity_;
     std::deque<TagQueueEntry> queue_;
-    StatGroup *stats_;
+    // Cached counters (null without a stats group) — push/flush sit on the
+    // per-access hot path.
+    StatGroup::Scalar *statFull_ = nullptr;
+    StatGroup::Scalar *statPushes_ = nullptr;
+    StatGroup::Scalar *statFlushes_ = nullptr;
+    StatGroup::Scalar *statFlushedEntries_ = nullptr;
 };
 
 } // namespace fuse

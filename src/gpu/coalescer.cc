@@ -5,23 +5,40 @@
 namespace fuse
 {
 
+void
+Coalescer::coalesceInPlace(std::vector<Addr> &addresses)
+{
+    const std::size_t lanes = addresses.size();
+    // Stable dedupe: lane i's line survives iff no earlier lane touched
+    // the same line. Lane counts are tiny (<= warp size), so the
+    // quadratic scan beats any hashing scheme.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < lanes; ++i) {
+        const Addr base = lineBase(addresses[i]);
+        bool seen = false;
+        for (std::size_t j = 0; j < out; ++j) {
+            if (addresses[j] == base) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            addresses[out++] = base;
+    }
+    addresses.resize(out);
+
+    if (statInstructions_) {
+        ++(*statInstructions_);
+        (*statTransactions_) += static_cast<double>(out);
+        (*statLanesMerged_) += static_cast<double>(lanes - out);
+    }
+}
+
 std::vector<Addr>
 Coalescer::coalesce(const std::vector<Addr> &addresses)
 {
-    std::vector<Addr> lines;
-    lines.reserve(addresses.size());
-    for (Addr a : addresses) {
-        const Addr base = lineBase(a);
-        if (std::find(lines.begin(), lines.end(), base) == lines.end())
-            lines.push_back(base);
-    }
-    if (stats_) {
-        ++stats_->scalar("coalesce_instructions");
-        stats_->scalar("coalesce_transactions") +=
-            static_cast<double>(lines.size());
-        stats_->scalar("coalesce_lanes_merged") +=
-            static_cast<double>(addresses.size() - lines.size());
-    }
+    std::vector<Addr> lines(addresses);
+    coalesceInPlace(lines);
     return lines;
 }
 

@@ -22,7 +22,14 @@ namespace fuse
 class Coalescer
 {
   public:
-    explicit Coalescer(StatGroup *stats = nullptr) : stats_(stats) {}
+    explicit Coalescer(StatGroup *stats = nullptr)
+    {
+        if (stats) {
+            statInstructions_ = &stats->scalar("coalesce_instructions");
+            statTransactions_ = &stats->scalar("coalesce_transactions");
+            statLanesMerged_ = &stats->scalar("coalesce_lanes_merged");
+        }
+    }
 
     /**
      * Deduplicate @p addresses to unique line-aligned transactions,
@@ -30,8 +37,18 @@ class Coalescer
      */
     std::vector<Addr> coalesce(const std::vector<Addr> &addresses);
 
+    /**
+     * In-place variant for the per-instruction hot path: rewrites
+     * @p addresses to its coalesced form without allocating. Same
+     * first-touch order as coalesce().
+     */
+    void coalesceInPlace(std::vector<Addr> &addresses);
+
   private:
-    StatGroup *stats_;
+    // Cached counters (null without a stats group).
+    StatGroup::Scalar *statInstructions_ = nullptr;
+    StatGroup::Scalar *statTransactions_ = nullptr;
+    StatGroup::Scalar *statLanesMerged_ = nullptr;
 };
 
 } // namespace fuse

@@ -1,5 +1,7 @@
 #include "gpu/gpu.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace fuse
@@ -33,6 +35,7 @@ Gpu::Gpu(const GpuConfig &config, L1DKind l1d_kind, const L1DParams &l1d,
 Cycle
 Gpu::run()
 {
+    constexpr Cycle kNever = ~Cycle(0);
     cycles_ = 0;
     while (cycles_ < config_.maxCycles) {
         bool all_done = true;
@@ -43,6 +46,47 @@ Gpu::run()
         ++cycles_;
         if (all_done)
             break;
+
+        // Fast-forward: when every live SM sleeps past this cycle, each
+        // intervening tick would only take the all-warps-asleep path
+        // (one idle + one mem-wait increment, no other state change) —
+        // jump straight to the earliest wake-up and account the idle
+        // cycles in bulk. Memory-bound phases spend most of their cycles
+        // here, so this is the difference between simulating stalls and
+        // merely counting them.
+        Cycle wake = kNever;
+        bool asleep = true;
+        for (auto &sm : sms_) {
+            if (sm->done())
+                continue;
+            const Cycle until = sm->sleepUntil();
+            if (until <= cycles_) {
+                asleep = false;
+                break;
+            }
+            wake = std::min(wake, until);
+        }
+        if (!asleep || wake == kNever)
+            continue;
+        // Deferred L1D work (tag-queue drains) must still run per cycle.
+        bool l1ds_idle = true;
+        for (auto &sm : sms_) {
+            if (!sm->l1d().tickIdle()) {
+                l1ds_idle = false;
+                break;
+            }
+        }
+        if (!l1ds_idle)
+            continue;
+        const Cycle target = std::min(wake, config_.maxCycles);
+        const Cycle skipped = target - cycles_;
+        if (skipped > 0) {
+            for (auto &sm : sms_) {
+                if (!sm->done())
+                    sm->skipIdle(skipped);
+            }
+            cycles_ = target;
+        }
     }
     if (cycles_ >= config_.maxCycles)
         fuse_warn("simulation hit the %llu-cycle safety cap",

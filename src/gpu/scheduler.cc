@@ -1,5 +1,7 @@
 #include "gpu/scheduler.hh"
 
+#include <algorithm>
+
 namespace fuse
 {
 
@@ -29,6 +31,36 @@ WarpScheduler::pick(const std::vector<bool> &ready)
             if (ready[w])
                 return w;
         }
+        return kNone;
+    }
+}
+
+std::uint32_t
+WarpScheduler::pickReady(const std::vector<Cycle> &ready_at, Cycle now,
+                         Cycle *min_ready)
+{
+    Cycle min_r = ~Cycle(0);
+    switch (policy_) {
+      case SchedPolicy::GreedyThenOldest:
+        if (lastIssued_ < numWarps_ && ready_at[lastIssued_] <= now)
+            return lastIssued_;
+        for (std::uint32_t w = 0; w < numWarps_; ++w) {
+            if (ready_at[w] <= now)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < numWarps_; ++w)
+            min_r = std::min(min_r, ready_at[w]);
+        *min_ready = min_r;
+        return kNone;
+      case SchedPolicy::RoundRobin:
+      default:
+        for (std::uint32_t i = 1; i <= numWarps_; ++i) {
+            std::uint32_t w = (lastIssued_ + i) % numWarps_;
+            if (ready_at[w] <= now)
+                return w;
+            min_r = std::min(min_r, ready_at[w]);
+        }
+        *min_ready = min_r;
         return kNone;
     }
 }

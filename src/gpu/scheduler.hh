@@ -35,6 +35,17 @@ class WarpScheduler
      */
     std::uint32_t pick(const std::vector<bool> &ready);
 
+    /**
+     * One-pass variant for the per-cycle hot path: picks directly from
+     * the warps' ready times (ready = ready_at[w] <= now), avoiding the
+     * separate readiness-scan + pick the two-step API needs. Policy
+     * behaviour is identical to pick(). When no warp is ready, returns
+     * kNone and stores the earliest ready time in @p min_ready (the SM's
+     * sleep-until bound).
+     */
+    std::uint32_t pickReady(const std::vector<Cycle> &ready_at, Cycle now,
+                            Cycle *min_ready);
+
     /** Notify that @p warp actually issued (updates policy state). */
     void issued(std::uint32_t warp);
 

@@ -9,11 +9,11 @@ Sm::Sm(SmId id, const SmConfig &config, std::unique_ptr<L1DCache> l1d,
        std::unique_ptr<KernelGenerator> kernel)
     : id_(id), config_(config), l1d_(std::move(l1d)),
       kernel_(std::move(kernel)),
+      stats_("sm" + std::to_string(id)),
       coalescer_(&stats_),
       scheduler_(config.scheduler, config.warpsPerSm),
       warps_(config.warpsPerSm),
-      readyScratch_(config.warpsPerSm, false),
-      stats_("sm" + std::to_string(id))
+      readyAt_(config.warpsPerSm, 0)
 {
     statIdle_ = &stats_.scalar("idle_cycles");
     statMemWait_ = &stats_.scalar("mem_wait_cycles");
@@ -31,15 +31,14 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
     WarpContext &warp = warps_[w];
 
     if (!warp.hasPending) {
-        // Fetch the next instruction from the kernel.
-        warp.pending = kernel_->next(w);
+        // Fetch the next instruction from the kernel, reusing the warp's
+        // instruction storage (no per-instruction allocation).
+        kernel_->next(w, warp.pending);
         warp.hasPending = true;
         warp.nextTransaction = 0;
         warp.maxFillReady = 0;
-        if (warp.pending.isMem) {
-            warp.pending.transactions =
-                coalescer_.coalesce(warp.pending.transactions);
-        }
+        if (warp.pending.isMem)
+            coalescer_.coalesceInPlace(warp.pending.transactions);
     }
 
     WarpInstruction &instr = warp.pending;
@@ -47,7 +46,7 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
         ++instructionsIssued_;
         ++(*statCompute_);
         warp.hasPending = false;
-        warp.readyAt = now + 1;
+        readyAt_[w] = now + 1;
         scheduler_.issued(w);
         return;
     }
@@ -64,12 +63,13 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
     req.retry = warp.stalledTransaction;
 
     L1DResult result = l1d_->access(req, now);
+    l1dTickPending_ = true;
     if (result.kind == L1DResult::Kind::Stall) {
         // The warp parks at this transaction until the structural hazard
         // clears; the wait counts as L1D stall cycles.
         const Cycle retry = std::max(now + 1, result.readyAt);
         (*statL1dStall_) += static_cast<double>(retry - now);
-        warp.readyAt = retry;
+        readyAt_[w] = retry;
         warp.stalledTransaction = true;
         scheduler_.issued(w);
         return;
@@ -84,7 +84,7 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
 
     if (warp.nextTransaction < instr.transactions.size()) {
         // More transactions to issue next cycle.
-        warp.readyAt = now + 1;
+        readyAt_[w] = now + 1;
         scheduler_.issued(w);
         return;
     }
@@ -96,13 +96,13 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
     ++(*statMemInstr_);
     warp.hasPending = false;
     if (instr.type == AccessType::Read) {
-        warp.readyAt = std::max(now + 1, warp.maxFillReady);
+        readyAt_[w] = std::max(now + 1, warp.maxFillReady);
         if (warp.maxFillReady > now + 1) {
             (*statLoadBlock_) +=
                 static_cast<double>(warp.maxFillReady - (now + 1));
         }
     } else {
-        warp.readyAt = now + 1;
+        readyAt_[w] = now + 1;
     }
     scheduler_.issued(w);
 }
@@ -110,7 +110,12 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
 void
 Sm::tick(Cycle now)
 {
-    l1d_->tick(now);
+    // Tick the L1D only while it has deferred work; the flag spares the
+    // virtual call on the (dominant) idle cycles.
+    if (l1dTickPending_) {
+        l1d_->tick(now);
+        l1dTickPending_ = !l1d_->tickIdle();
+    }
     if (done())
         return;
 
@@ -122,26 +127,12 @@ Sm::tick(Cycle now)
         return;
     }
 
-    bool any_ready = false;
     Cycle min_ready = ~Cycle(0);
-    for (std::uint32_t w = 0; w < config_.warpsPerSm; ++w) {
-        const bool ready = warps_[w].readyAt <= now;
-        readyScratch_[w] = ready;
-        any_ready |= ready;
-        if (!ready)
-            min_ready = std::min(min_ready, warps_[w].readyAt);
-    }
-
-    if (!any_ready) {
+    std::uint32_t w = scheduler_.pickReady(readyAt_, now, &min_ready);
+    if (w == WarpScheduler::kNone) {
         sleepUntil_ = min_ready;
         ++(*statIdle_);
         ++(*statMemWait_);
-        return;
-    }
-
-    std::uint32_t w = scheduler_.pick(readyScratch_);
-    if (w == WarpScheduler::kNone) {
-        ++(*statIdle_);
         return;
     }
     issueWarp(w, now);

@@ -46,6 +46,22 @@ class Sm
     /** All warps retired their share of the instruction budget. */
     bool done() const { return instructionsIssued_ >= config_.instructionBudget; }
 
+    /** No warp becomes ready before this cycle (0 = unknown/active). The
+     *  GPU loop fast-forwards across windows where every SM sleeps. */
+    Cycle sleepUntil() const { return sleepUntil_; }
+
+    /**
+     * Account @p cycles skipped by the GPU fast-forward: each would have
+     * taken the all-warps-asleep path in tick() (one idle + one mem-wait
+     * cycle, no other state change). Caller guarantees the SM is not done
+     * and sleeps through the whole window, and that the L1D is tick-idle.
+     */
+    void skipIdle(Cycle cycles)
+    {
+        (*statIdle_) += static_cast<double>(cycles);
+        (*statMemWait_) += static_cast<double>(cycles);
+    }
+
     std::uint64_t instructionsIssued() const { return instructionsIssued_; }
     L1DCache &l1d() { return *l1d_; }
     const L1DCache &l1d() const { return *l1d_; }
@@ -63,7 +79,6 @@ class Sm
   private:
     struct WarpContext
     {
-        Cycle readyAt = 0;          ///< Blocked until (dependences).
         bool hasPending = false;    ///< Mid-way through a mem instruction.
         WarpInstruction pending;
         std::uint32_t nextTransaction = 0;
@@ -78,14 +93,23 @@ class Sm
     SmConfig config_;
     std::unique_ptr<L1DCache> l1d_;
     std::unique_ptr<KernelGenerator> kernel_;
+    /** Declared before coalescer_, whose constructor caches stat handles
+     *  out of this group (member construction order matters here). */
+    StatGroup stats_;
     Coalescer coalescer_;
     WarpScheduler scheduler_;
     std::vector<WarpContext> warps_;
-    std::vector<bool> readyScratch_;
+    /** Per-warp blocked-until times, kept in a compact parallel array:
+     *  the per-cycle ready scan touches only these 8 bytes per warp
+     *  instead of striding across the full WarpContext records. */
+    std::vector<Cycle> readyAt_;
     std::uint64_t instructionsIssued_ = 0;
     /** No warp becomes ready before this cycle (idle fast path). */
     Cycle sleepUntil_ = 0;
-    StatGroup stats_;
+    /** The L1D may have deferred work (tag-queue drain): tick it. Set
+     *  after every access, cleared when the L1D reports tick-idle —
+     *  skips the virtual tick() call on the (dominant) idle cycles. */
+    bool l1dTickPending_ = false;
 
     // Cached references for the per-cycle hot path (StatGroup::scalar is
     // a map lookup; references stay valid for the group's lifetime).

@@ -37,10 +37,14 @@ struct Metrics
     double tagSearchStallCycles = 0.0;
     double l1dStallCycles = 0.0;   ///< As observed by the SMs.
 
-    // Predictor accuracy (Fig. 16).
+    // Predictor accuracy (Fig. 16). The rates are fractions of
+    // predOutcomes, the number of blocks whose predicted read-level was
+    // scored at eviction (the coverage denominator — 0 for organisations
+    // without a predictor).
     double predTrue = 0.0;
     double predFalse = 0.0;
     double predNeutral = 0.0;
+    double predOutcomes = 0.0;
 
     // Off-chip time attribution (Fig. 1a).
     double memWaitFraction = 0.0;  ///< Cycles SMs sat waiting on memory.

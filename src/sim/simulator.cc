@@ -40,21 +40,23 @@ Simulator::run(const BenchmarkSpec &benchmark, L1DKind kind) const
     m.tagSearchStallCycles = gpu.sumL1dStat("stall_tag_search");
     m.l1dStallCycles = gpu.sumSmStat("l1d_stall_cycles");
 
-    const double outcomes = gpu.sumL1dStat("outcomes");
-    (void)outcomes;
-    // Predictor accuracy lives in each HybridL1D's predictor stats; pull
-    // it via the L1D interface stats that HybridL1D mirrors there.
+    // Predictor accuracy (Fig. 16): summed across each SM's read-level
+    // predictor through the predictorStats() hook — organisations
+    // without one report nullptr, so the metrics path needs no per-SM
+    // dynamic_cast.
     double pred_true = 0.0;
     double pred_false = 0.0;
     double pred_neutral = 0.0;
+    double pred_outcomes = 0.0;
     for (const auto &sm : gpu.sms()) {
-        if (auto *hybrid = dynamic_cast<HybridL1D *>(&sm->l1d())) {
-            const StatGroup &ps = hybrid->predictor().stats();
-            pred_true += ps.get("pred_true");
-            pred_false += ps.get("pred_false");
-            pred_neutral += ps.get("pred_neutral");
+        if (const StatGroup *ps = sm->l1d().predictorStats()) {
+            pred_true += ps->get("pred_true");
+            pred_false += ps->get("pred_false");
+            pred_neutral += ps->get("pred_neutral");
+            pred_outcomes += ps->get("outcomes");
         }
     }
+    m.predOutcomes = pred_outcomes;
     const double pred_total = pred_true + pred_false + pred_neutral;
     if (pred_total > 0) {
         m.predTrue = pred_true / pred_total;
@@ -73,10 +75,13 @@ Simulator::run(const BenchmarkSpec &benchmark, L1DKind kind) const
 
     // Split the off-chip round trip between network and DRAM using the
     // hierarchy's accumulated per-request attributions.
-    auto &hier = const_cast<Gpu &>(gpu).hierarchy();
-    const double rt = hier.stats().average("round_trip").mean();
-    const double dram_lat = hier.dram().stats().average("service_latency")
-                                .mean();
+    const MemoryHierarchy &hier = gpu.hierarchy();
+    const StatGroup::Average *rt_avg =
+        hier.stats().findAverage("round_trip");
+    const StatGroup::Average *dram_avg =
+        hier.dram().stats().findAverage("service_latency");
+    const double rt = rt_avg ? rt_avg->mean() : 0.0;
+    const double dram_lat = dram_avg ? dram_avg->mean() : 0.0;
     const double dram_reqs = hier.dram().stats().get("requests");
     const double all_reqs = hier.stats().get("requests");
     if (rt > 0 && all_reqs > 0) {

@@ -39,6 +39,7 @@ KernelGenerator::KernelGenerator(const BenchmarkSpec &spec, SmId sm,
         streamBases_.push_back(kRegionStride * (s + 1) + scatter);
     }
 
+    memProb_ = spec.memProbability();
     for (WarpId w = 0; w < warps_per_sm; ++w) {
         auto &state = warps_[w];
         state.rng = Rng(seed * 0x100000001b3ull
@@ -63,7 +64,7 @@ KernelGenerator::computeGap(WarpState &state)
     // Geometric gap with mean 1/p - 1 compute instructions between memory
     // instructions, so APKI is matched in expectation without lockstep
     // artifacts across warps.
-    const double p = spec_->memProbability();
+    const double p = memProb_;
     if (p >= 1.0)
         return 0;
     // Inverse-CDF sampling of a geometric distribution.
@@ -89,8 +90,19 @@ KernelGenerator::pickStream(WarpState &state)
 WarpInstruction
 KernelGenerator::next(WarpId warp)
 {
-    WarpState &state = warps_[warp];
     WarpInstruction instr;
+    next(warp, instr);
+    return instr;
+}
+
+void
+KernelGenerator::next(WarpId warp, WarpInstruction &instr)
+{
+    WarpState &state = warps_[warp];
+    instr.isMem = false;
+    instr.type = AccessType::Read;
+    instr.pc = 0;
+    instr.transactions.clear();
 
     // A forced follow-up access takes priority: the store half of a
     // read-modify-write, or the second touch of a shared-reuse pair
@@ -107,14 +119,14 @@ KernelGenerator::next(WarpId warp)
                                   sm_ * warpsPerSm_ + warp,
                                   numSms_ * warpsPerSm_, state.rng,
                                   instr.transactions);
-        return instr;
+        return;
     }
 
     if (state.instructionsUntilMem > 0) {
         --state.instructionsUntilMem;
         instr.isMem = false;
         instr.pc = kPcBase - 4;  // generic compute PC
-        return instr;
+        return;
     }
 
     // Memory instruction: pick a stream and generate its transactions.
@@ -138,7 +150,7 @@ KernelGenerator::next(WarpId warp)
             state.pendingStream = static_cast<std::int32_t>(s);
             state.pendingIsWrite = true;
         }
-        return instr;
+        return;
     }
 
     instr.type = is_write ? AccessType::Write : AccessType::Read;
@@ -155,7 +167,6 @@ KernelGenerator::next(WarpId warp)
         state.pendingStream = static_cast<std::int32_t>(s);
         state.pendingIsWrite = is_write;
     }
-    return instr;
 }
 
 } // namespace fuse

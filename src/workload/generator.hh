@@ -40,6 +40,13 @@ class KernelGenerator
     /** Produce warp @p warp's next instruction. */
     WarpInstruction next(WarpId warp);
 
+    /**
+     * In-place variant for the per-instruction hot path: resets @p out
+     * and fills it, reusing out.transactions' storage instead of
+     * allocating a fresh vector per instruction.
+     */
+    void next(WarpId warp, WarpInstruction &out);
+
     const BenchmarkSpec &spec() const { return *spec_; }
 
     /** PC of stream @p stream_index's memory instruction. */
@@ -69,6 +76,8 @@ class KernelGenerator
     std::vector<double> cumulativeWeights_;
     std::vector<Addr> streamBases_;
     double totalWeight_ = 0.0;
+    /** spec_->memProbability(), cached — computeGap runs per instruction. */
+    double memProb_ = 0.0;
 };
 
 } // namespace fuse

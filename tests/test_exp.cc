@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "exp/experiment.hh"
@@ -47,6 +48,15 @@ TEST(Aggregate, GeomeanClampsZeros)
     EXPECT_GT(geomean({0.0, 1.0}), 0.0);
 }
 
+TEST(Aggregate, GeomeanNeverNan)
+{
+    // The empty-input guard must return a finite 0.0, not exp(0/0):
+    // a NaN would silently poison every normalised figure column.
+    EXPECT_FALSE(std::isnan(geomean({})));
+    EXPECT_FALSE(std::isnan(geomean({0.0})));
+    EXPECT_FALSE(std::isnan(geomean({0.0, 0.0})));
+}
+
 TEST(Aggregate, MeanAndNormalize)
 {
     EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
@@ -57,6 +67,21 @@ TEST(Aggregate, MeanAndNormalize)
     EXPECT_DOUBLE_EQ(norm[1], 3.0);
     // A zero baseline yields 0, not inf.
     EXPECT_DOUBLE_EQ(normalizeTo({1.0}, {0.0})[0], 0.0);
+}
+
+// ---------------------------------------------------- thread counts
+
+TEST(ThreadCount, DefaultThreadCountIsAtLeastOne)
+{
+    // hardware_concurrency() may legally report 0 ("unknown"); the
+    // default must clamp so no zero-thread pool can be constructed.
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ThreadCount, RunnerNeverHasZeroThreads)
+{
+    EXPECT_GE(SweepRunner(0).threads(), 1u);
+    EXPECT_EQ(SweepRunner(3).threads(), 3u);
 }
 
 // ---------------------------------------------------- parallelFor

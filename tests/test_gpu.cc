@@ -77,6 +77,41 @@ TEST(Scheduler, GreedySticksToIssuingWarp)
     EXPECT_NE(sched.pick(ready), w);
 }
 
+TEST(Scheduler, PickReadyMatchesPickForEveryPolicy)
+{
+    // pickReady (the one-pass hot-path API) promises policy behaviour
+    // identical to pick(); enforce it across an exhaustive sweep of
+    // 4-warp readiness patterns and issue histories.
+    for (SchedPolicy policy :
+         {SchedPolicy::RoundRobin, SchedPolicy::GreedyThenOldest}) {
+        for (std::uint32_t last = 0; last < 4; ++last) {
+            for (std::uint32_t pattern = 0; pattern < 16; ++pattern) {
+                WarpScheduler a(policy, 4);
+                WarpScheduler b(policy, 4);
+                a.issued(last);
+                b.issued(last);
+                std::vector<bool> ready(4);
+                std::vector<Cycle> ready_at(4);
+                const Cycle now = 100;
+                for (std::uint32_t w = 0; w < 4; ++w) {
+                    ready[w] = (pattern >> w) & 1;
+                    ready_at[w] = ready[w] ? now : now + 1 + w;
+                }
+                Cycle min_ready = 0;
+                EXPECT_EQ(b.pickReady(ready_at, now, &min_ready),
+                          a.pick(ready))
+                    << "policy=" << int(policy) << " last=" << last
+                    << " pattern=" << pattern;
+                if (pattern == 0) {
+                    // Nothing ready: min_ready must be the earliest
+                    // wake-up (warp 0's now + 1).
+                    EXPECT_EQ(min_ready, now + 1);
+                }
+            }
+        }
+    }
+}
+
 GpuConfig
 tinyGpu()
 {

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the stats framework's cached-handle contract and the
+ * open-addressing flat table behind the MSHR and tag-array index: the
+ * simulation hot path keeps Scalar/Average pointers for a component's
+ * lifetime and probes line addresses through FlatAddrMap, so both
+ * contracts are regression-guarded here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+#include "common/flat_map.hh"
+#include "common/stats.hh"
+
+namespace fuse
+{
+namespace
+{
+
+// ------------------------------------------------- cached Scalar handles
+
+TEST(StatHandles, CachedScalarSurvivesLaterInsertions)
+{
+    StatGroup g("g");
+    StatGroup::Scalar &first = g.scalar("a_first");
+    ++first;
+    // Insertions on either side of "a_first" must not move it.
+    g.scalar("0_before");
+    g.scalar("z_after");
+    ++first;
+    EXPECT_DOUBLE_EQ(g.get("a_first"), 2.0);
+    EXPECT_DOUBLE_EQ(&first == &g.scalar("a_first") ? 1.0 : 0.0, 1.0);
+}
+
+TEST(StatHandles, CachedScalarObservesMerge)
+{
+    StatGroup a("a");
+    StatGroup b("b");
+    StatGroup::Scalar &cached = a.scalar("hits");
+    cached += 3.0;
+    b.scalar("hits") += 4.0;
+    a.merge(b);
+    // merge() adds in place: the cached handle sees the merged value.
+    EXPECT_DOUBLE_EQ(cached.value(), 7.0);
+    EXPECT_DOUBLE_EQ(a.get("hits"), 7.0);
+}
+
+TEST(StatHandles, CachedScalarObservesReset)
+{
+    StatGroup g("g");
+    StatGroup::Scalar &cached = g.scalar("count");
+    cached += 5.0;
+    g.reset();
+    EXPECT_DOUBLE_EQ(cached.value(), 0.0);
+    // The handle stays live: increments after reset land in the group.
+    ++cached;
+    EXPECT_DOUBLE_EQ(g.get("count"), 1.0);
+}
+
+TEST(StatHandles, CachedAverageObservesMergeAndReset)
+{
+    StatGroup a("a");
+    StatGroup b("b");
+    StatGroup::Average &cached = a.average("lat");
+    cached.sample(2.0);
+    b.average("lat").sample(4.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(cached.mean(), 3.0);
+    EXPECT_EQ(cached.count(), 2u);
+    a.reset();
+    EXPECT_EQ(cached.count(), 0u);
+}
+
+TEST(StatHandles, FindAverageIsConstSafe)
+{
+    StatGroup g("g");
+    g.average("present").sample(1.0);
+    const StatGroup &cg = g;
+    ASSERT_NE(cg.findAverage("present"), nullptr);
+    EXPECT_DOUBLE_EQ(cg.findAverage("present")->mean(), 1.0);
+    // Lookup must not create the stat.
+    EXPECT_EQ(cg.findAverage("absent"), nullptr);
+    EXPECT_EQ(cg.findAverage("absent"), nullptr);
+}
+
+// ----------------------------------------------------------- FlatAddrMap
+
+TEST(FlatAddrMap, InsertFindErase)
+{
+    FlatAddrMap<int> map(8);
+    EXPECT_TRUE(map.empty());
+    *map.insert(100) = 1;
+    *map.insert(200) = 2;
+    EXPECT_EQ(map.size(), 2u);
+    ASSERT_NE(map.find(100), nullptr);
+    EXPECT_EQ(*map.find(100), 1);
+    EXPECT_EQ(map.find(300), nullptr);
+    EXPECT_TRUE(map.erase(100));
+    EXPECT_FALSE(map.erase(100));
+    EXPECT_EQ(map.find(100), nullptr);
+    ASSERT_NE(map.find(200), nullptr);
+    EXPECT_EQ(*map.find(200), 2);
+}
+
+TEST(FlatAddrMap, SurvivesCollisionChains)
+{
+    // Fill a small table to capacity so probe chains must form, then
+    // delete from the middle of chains and verify every survivor is
+    // still reachable (backward-shift deletion correctness).
+    FlatAddrMap<std::uint64_t> map(32);
+    for (std::uint64_t k = 0; k < 32; ++k)
+        *map.insert(k * 0x10000) = k;
+    EXPECT_EQ(map.size(), 32u);
+    for (std::uint64_t k = 0; k < 32; k += 2)
+        EXPECT_TRUE(map.erase(k * 0x10000));
+    EXPECT_EQ(map.size(), 16u);
+    for (std::uint64_t k = 0; k < 32; ++k) {
+        if (k % 2 == 0) {
+            EXPECT_EQ(map.find(k * 0x10000), nullptr) << k;
+        } else {
+            ASSERT_NE(map.find(k * 0x10000), nullptr) << k;
+            EXPECT_EQ(*map.find(k * 0x10000), k);
+        }
+    }
+}
+
+TEST(FlatAddrMap, SlotReuseAfterChurn)
+{
+    // Heavy insert/erase churn in a fixed-size table: the table must
+    // keep finding everything without tombstone decay (there are no
+    // tombstones to decay).
+    FlatAddrMap<std::uint64_t> map(16);
+    for (std::uint64_t round = 0; round < 100; ++round) {
+        for (std::uint64_t k = 0; k < 16; ++k)
+            *map.insert(round * 1000 + k) = k;
+        EXPECT_EQ(map.size(), 16u);
+        for (std::uint64_t k = 0; k < 16; ++k) {
+            ASSERT_NE(map.find(round * 1000 + k), nullptr);
+            EXPECT_TRUE(map.erase(round * 1000 + k));
+        }
+        EXPECT_TRUE(map.empty());
+    }
+}
+
+TEST(FlatAddrMap, ForEachErasingDropsExactlyTheMatching)
+{
+    FlatAddrMap<std::uint64_t> map(64);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        *map.insert(k) = k;
+    map.forEachErasing(
+        [](Addr, std::uint64_t &v) { return v % 3 == 0; });
+    EXPECT_EQ(map.size(), 64u - 22u);
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        if (k % 3 == 0)
+            EXPECT_EQ(map.find(k), nullptr) << k;
+        else
+            ASSERT_NE(map.find(k), nullptr) << k;
+    }
+}
+
+// ------------------------------------------------------- MSHR flat table
+
+TEST(MshrFlatTable, FillToCapacityAndReuse)
+{
+    Mshr mshr(32);
+    for (Addr a = 0; a < 32; ++a) {
+        auto r = mshr.access(a * 128, 100 + a, BankId::Sram);
+        EXPECT_EQ(r.kind, MshrResult::Kind::NewMiss);
+    }
+    EXPECT_TRUE(mshr.full());
+    EXPECT_EQ(mshr.access(9999 * 128, 10, BankId::Sram).kind,
+              MshrResult::Kind::Full);
+    // Retire everything that is ready and reuse the freed entries.
+    mshr.retireReady(115);  // frees readyAt 100..115 => 16 entries
+    EXPECT_EQ(mshr.size(), 16u);
+    for (Addr a = 0; a < 16; ++a) {
+        auto r = mshr.access((1000 + a) * 128, 500, BankId::SttMram);
+        EXPECT_EQ(r.kind, MshrResult::Kind::NewMiss) << a;
+    }
+    EXPECT_TRUE(mshr.full());
+}
+
+TEST(MshrFlatTable, CollidingLinesStayFindable)
+{
+    // Line addresses crafted to collide in a small table: strided
+    // high-bit patterns. Every in-flight entry must remain findable and
+    // retire cleanly regardless of probe-chain shape.
+    Mshr mshr(8);
+    std::vector<Addr> lines;
+    for (Addr i = 0; i < 8; ++i)
+        lines.push_back((i << 40) | 0x1000);
+    for (Addr line : lines)
+        EXPECT_EQ(mshr.access(line, 50, BankId::Sram).kind,
+                  MshrResult::Kind::NewMiss);
+    for (Addr line : lines) {
+        MshrEntry *e = mshr.find(line);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->lineAddr, line);
+    }
+    // Erase every other entry, then verify the survivors.
+    for (std::size_t i = 0; i < lines.size(); i += 2)
+        mshr.retire(lines[i]);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i % 2 == 0)
+            EXPECT_EQ(mshr.find(lines[i]), nullptr);
+        else
+            EXPECT_NE(mshr.find(lines[i]), nullptr);
+    }
+}
+
+TEST(MshrFlatTable, MinReadyAtTracksAcrossRetires)
+{
+    Mshr mshr(4);
+    mshr.access(1 * 128, 30, BankId::Sram);
+    mshr.access(2 * 128, 10, BankId::Sram);
+    mshr.access(3 * 128, 20, BankId::Sram);
+    EXPECT_EQ(mshr.minReadyAt(), 10u);
+    mshr.retireReady(15);
+    EXPECT_EQ(mshr.find(2 * 128), nullptr);
+    EXPECT_EQ(mshr.minReadyAt(), 20u);
+    mshr.retireReady(100);
+    EXPECT_EQ(mshr.size(), 0u);
+}
+
+} // namespace
+} // namespace fuse

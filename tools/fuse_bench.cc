@@ -1,0 +1,239 @@
+/**
+ * @file
+ * fuse_bench: the simulation-core performance harness. Times (a) single
+ * Simulator::run calls over a representative (benchmark, organisation)
+ * matrix and (b) a full SweepRunner sweep of a paper figure's grid, then
+ * emits BENCH_sim_core.json so the repository's perf trajectory is
+ * measured on every PR instead of assumed.
+ *
+ * Usage:
+ *   fuse_bench [--figure NAME] [--threads N] [--repeat N]
+ *              [--out FILE] [--smoke]
+ *
+ *   --figure NAME  sweep grid to time (default: fig13, the headline IPC
+ *                  grid — every organisation x every workload)
+ *   --threads N    sweep worker threads (default: 1 so runs/sec measures
+ *                  the core, not the pool; FUSE_THREADS still wins)
+ *   --repeat N     best-of-N for the single-run section (default: 3)
+ *   --out FILE     output path (default: BENCH_sim_core.json)
+ *   --smoke        CI mode: FUSE_FAST budgets and a two-benchmark grid,
+ *                  so the step costs seconds while still tracking the
+ *                  same code paths
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "exp/figures.hh"
+#include "exp/sweep_runner.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+struct SingleRun
+{
+    std::string benchmark;
+    fuse::L1DKind kind;
+    double wallMs = 0.0;
+    double cycles = 0.0;
+    double cyclesPerSec = 0.0;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: fuse_bench [options]\n"
+        "  --figure NAME  figure grid to sweep (default: fig13)\n"
+        "  --threads N    sweep worker threads (default: 1)\n"
+        "  --repeat N     best-of-N single-run timing (default: 3)\n"
+        "  --out FILE     output JSON path (default: BENCH_sim_core.json)\n"
+        "  --smoke        small CI grid with FUSE_FAST budgets\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string figure = "fig13";
+    std::string out_path = "BENCH_sim_core.json";
+    bool threads_set = false;
+    unsigned threads = 1;
+    int repeat = 3;
+    bool smoke = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fuse_fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        auto numeric = [&](const std::string &text) -> unsigned long {
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(text.c_str(), &end, 10);
+            if (end == text.c_str() || *end != '\0')
+                fuse_fatal("%s needs a number, got '%s'", arg.c_str(),
+                           text.c_str());
+            return n;
+        };
+        if (arg == "--figure") {
+            figure = value();
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(numeric(value()));
+            threads_set = true;
+        } else if (arg == "--repeat") {
+            repeat = static_cast<int>(numeric(value()));
+            if (repeat < 1)
+                repeat = 1;
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fuse_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    if (smoke) {
+        // Must precede the first SimConfig preset: budgets read the
+        // environment lazily.
+        setenv("FUSE_FAST", "1", /*overwrite=*/1);
+    }
+    // Without an explicit --threads, FUSE_THREADS wins over the 1-thread
+    // default: pass 0 so SweepRunner resolves the environment.
+    if (!threads_set && std::getenv("FUSE_THREADS"))
+        threads = 0;
+
+    const fuse::Figure *fig = fuse::findFigure(figure);
+    if (!fig)
+        fuse_fatal("unknown figure '%s'", figure.c_str());
+    fuse::ExperimentSpec spec = fig->makeSpec();
+    if (smoke) {
+        spec.benchmarks.clear();
+        for (const char *b : {"ATAX", "BICG"})
+            spec.benchmarks.push_back(b);
+    }
+
+    // ---- Section 1: single Simulator::run calls (the inner loop one
+    // orchestrated experiment pays thousands of times). Representative
+    // corners: the SRAM baseline, the blocking hybrid, and the full
+    // Dy-FUSE stack, on the spec's first two workloads.
+    std::vector<SingleRun> singles;
+    {
+        const fuse::SimConfig config = spec.configFor(0);
+        std::vector<std::string> benchmarks(
+            spec.benchmarks.begin(),
+            spec.benchmarks.begin()
+                + std::min<std::size_t>(2, spec.benchmarks.size()));
+        const fuse::L1DKind kinds[] = {fuse::L1DKind::L1Sram,
+                                       fuse::L1DKind::Hybrid,
+                                       fuse::L1DKind::DyFuse};
+        fuse::Simulator sim(config);
+        for (const auto &benchmark : benchmarks) {
+            for (fuse::L1DKind kind : kinds) {
+                SingleRun s;
+                s.benchmark = benchmark;
+                s.kind = kind;
+                s.wallMs = -1.0;
+                for (int r = 0; r < repeat; ++r) {
+                    const auto start = Clock::now();
+                    fuse::Metrics m = sim.run(benchmark, kind);
+                    const double ms = msSince(start);
+                    if (s.wallMs < 0.0 || ms < s.wallMs) {
+                        s.wallMs = ms;
+                        s.cycles = static_cast<double>(m.cycles);
+                    }
+                }
+                s.cyclesPerSec =
+                    s.wallMs > 0.0 ? s.cycles / (s.wallMs / 1000.0) : 0.0;
+                std::fprintf(stderr,
+                             "single %-6s %-9s %8.1f ms  %.3g cycles/s\n",
+                             s.benchmark.c_str(), toString(s.kind),
+                             s.wallMs, s.cyclesPerSec);
+                singles.push_back(s);
+            }
+        }
+    }
+
+    // ---- Section 2: the full sweep grid through SweepRunner (what a
+    // perf regression would slow down for every figure reproduction).
+    fuse::SweepRunner runner(threads);
+    std::fprintf(stderr, "sweep %s: %zu runs on %u threads...\n",
+                 spec.name.c_str(), spec.runCount(), runner.threads());
+    const auto sweep_start = Clock::now();
+    fuse::ResultSet results = runner.run(spec);
+    const double sweep_ms = msSince(sweep_start);
+
+    double total_cycles = 0.0;
+    std::size_t valid_runs = 0;
+    for (const auto &run : results.runs()) {
+        if (!run.valid)
+            continue;
+        ++valid_runs;
+        total_cycles += static_cast<double>(run.metrics.cycles);
+    }
+    const double sweep_s = sweep_ms / 1000.0;
+    const double runs_per_sec =
+        sweep_s > 0.0 ? static_cast<double>(valid_runs) / sweep_s : 0.0;
+    const double cycles_per_sec =
+        sweep_s > 0.0 ? total_cycles / sweep_s : 0.0;
+
+    std::fprintf(stderr,
+                 "sweep %s: %zu runs, %.1f ms, %.3f runs/s, %.3g cycles/s\n",
+                 spec.name.c_str(), valid_runs, sweep_ms, runs_per_sec,
+                 cycles_per_sec);
+
+    std::ofstream os(out_path);
+    if (!os)
+        fuse_fatal("cannot open '%s' for writing", out_path.c_str());
+    os << "{\n";
+    os << "  \"bench\": \"sim_core\",\n";
+    os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    os << "  \"single_runs\": [\n";
+    for (std::size_t i = 0; i < singles.size(); ++i) {
+        const SingleRun &s = singles[i];
+        os << "    {\"benchmark\": \"" << s.benchmark << "\", "
+           << "\"kind\": \"" << toString(s.kind) << "\", "
+           << "\"wall_ms\": " << s.wallMs << ", "
+           << "\"cycles\": " << s.cycles << ", "
+           << "\"cycles_per_sec\": " << s.cyclesPerSec << "}"
+           << (i + 1 < singles.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"sweep\": {\n";
+    os << "    \"figure\": \"" << figure << "\",\n";
+    os << "    \"runs\": " << valid_runs << ",\n";
+    os << "    \"threads\": " << runner.threads() << ",\n";
+    os << "    \"wall_ms\": " << sweep_ms << ",\n";
+    os << "    \"runs_per_sec\": " << runs_per_sec << ",\n";
+    os << "    \"sim_cycles_total\": " << total_cycles << ",\n";
+    os << "    \"cycles_per_sec\": " << cycles_per_sec << "\n";
+    os << "  }\n";
+    os << "}\n";
+    os.close();
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+    return 0;
+}

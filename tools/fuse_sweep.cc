@@ -137,8 +137,13 @@ main(int argc, char **argv)
         } else if (arg == "--kinds") {
             kinds = value();
         } else if (arg == "--threads") {
+            const std::string text = value();
+            char *end = nullptr;
             threads = static_cast<unsigned>(
-                std::strtoul(value().c_str(), nullptr, 10));
+                std::strtoul(text.c_str(), &end, 10));
+            if (end == text.c_str() || *end != '\0')
+                fuse_fatal("--threads needs a number, got '%s'",
+                           text.c_str());
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
