@@ -1,16 +1,33 @@
 #include "cache/mshr.hh"
 
+#include <algorithm>
+
 namespace fuse
 {
 
 Mshr::Mshr(std::uint32_t num_entries, StatGroup *stats)
     : capacity_(num_entries), entries_(num_entries)
 {
+    ready_.reserve(std::size_t(num_entries) * 2);
     if (stats) {
         statMerged_ = &stats->scalar("mshr_merged");
         statFullStall_ = &stats->scalar("mshr_full_stall");
         statAllocated_ = &stats->scalar("mshr_allocated");
     }
+}
+
+void
+Mshr::pushReady(Cycle ready_at, Addr line_addr)
+{
+    ready_.push_back({ready_at, line_addr});
+    std::push_heap(ready_.begin(), ready_.end(), laterReady);
+}
+
+void
+Mshr::popReady()
+{
+    std::pop_heap(ready_.begin(), ready_.end(), laterReady);
+    ready_.pop_back();
 }
 
 MshrResult
@@ -31,6 +48,7 @@ Mshr::access(Addr line_addr, Cycle ready_at, BankId destination)
     entry->lineAddr = line_addr;
     entry->readyAt = ready_at;
     entry->destination = destination;
+    pushReady(ready_at, line_addr);
     if (ready_at < minReadyAt_)
         minReadyAt_ = ready_at;
     if (statAllocated_)
@@ -41,15 +59,25 @@ Mshr::access(Addr line_addr, Cycle ready_at, BankId destination)
 void
 Mshr::retireReadySlow(Cycle now)
 {
-    Cycle new_min = kNever;
-    entries_.forEachErasing([&](Addr, MshrEntry &entry) {
-        if (entry.readyAt <= now)
-            return true;
-        if (entry.readyAt < new_min)
-            new_min = entry.readyAt;
-        return false;
-    });
-    minReadyAt_ = new_min;
+    // Pop every elapsed record. A record whose entry was retire()d early
+    // (and possibly re-allocated with a later fill time) is stale —
+    // discard it; the live allocation has its own record.
+    while (!ready_.empty() && ready_.front().readyAt <= now) {
+        const Addr line = ready_.front().lineAddr;
+        popReady();
+        const MshrEntry *entry = entries_.find(line);
+        if (entry && entry->readyAt <= now)
+            entries_.erase(line);
+    }
+    // Skim stale leftovers off the top so the cached minimum is the exact
+    // minimum over in-flight entries (it feeds Full-stall retry times).
+    while (!ready_.empty()) {
+        const MshrEntry *entry = entries_.find(ready_.front().lineAddr);
+        if (entry && entry->readyAt == ready_.front().readyAt)
+            break;
+        popReady();
+    }
+    minReadyAt_ = ready_.empty() ? kNever : ready_.front().readyAt;
 }
 
 } // namespace fuse

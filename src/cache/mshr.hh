@@ -8,12 +8,18 @@
  * The entry file is an open-addressing flat table (common/flat_map.hh)
  * sized from the configured capacity — probed on every L1D access, so it
  * must not pay std::unordered_map's node allocations and pointer chases.
+ * Retirement is driven by a ready queue (binary min-heap on readyAt):
+ * retireReady() pops exactly the elapsed entries instead of sweeping the
+ * whole slot array per ready batch, and minReadyAt() stays the exact
+ * minimum over in-flight entries (it is timing-observable — Full stalls
+ * schedule their retry from it).
  */
 
 #ifndef FUSE_CACHE_MSHR_HH
 #define FUSE_CACHE_MSHR_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/flat_map.hh"
 #include "common/stats.hh"
@@ -68,11 +74,13 @@ class Mshr
     /** Look up an in-flight entry. */
     MshrEntry *find(Addr line_addr) { return entries_.find(line_addr); }
 
-    /** Remove the entry for @p line_addr (fill applied). */
+    /** Remove the entry for @p line_addr (fill applied). Its ready-queue
+     *  record is invalidated lazily on pop. */
     void retire(Addr line_addr) { entries_.erase(line_addr); }
 
     /** Free every entry whose readyAt <= now (bulk lazy cleanup).
-     *  O(1) when nothing is ready yet (guarded by a cached minimum). */
+     *  O(1) when nothing is ready yet (guarded by a cached minimum),
+     *  O(log entries) per entry actually freed. */
     void retireReady(Cycle now)
     {
         if (entries_.empty() || now < minReadyAt_)
@@ -90,16 +98,43 @@ class Mshr
     std::uint32_t capacity() const { return capacity_; }
     bool full() const { return entries_.size() >= capacity_; }
 
-    void clear() { entries_.clear(); }
+    void clear()
+    {
+        entries_.clear();
+        ready_.clear();
+        // minReadyAt_ is deliberately left as-is: it is a lower bound, and
+        // the historical implementation kept it across clear() too.
+    }
 
   private:
     static constexpr Cycle kNever = ~Cycle(0);
 
+    /** One allocation's position in the ready queue. A record goes stale
+     *  when its entry is retire()d early or its address is re-allocated;
+     *  stale records are discarded when they surface at the top. */
+    struct ReadyRec
+    {
+        Cycle readyAt = 0;
+        Addr lineAddr = 0;
+    };
+
+    /** Min-heap order: the earliest readyAt surfaces at the front. */
+    static bool laterReady(const ReadyRec &a, const ReadyRec &b)
+    {
+        return a.readyAt > b.readyAt;
+    }
+
     void retireReadySlow(Cycle now);
+    void pushReady(Cycle ready_at, Addr line_addr);
+    void popReady();
 
     std::uint32_t capacity_;
     FlatAddrMap<MshrEntry> entries_;
-    /** Lower bound on the smallest readyAt among entries. */
+    /** Binary min-heap on readyAt over every live allocation (plus lazily
+     *  discarded stale records). */
+    std::vector<ReadyRec> ready_;
+    /** Exact minimum readyAt among in-flight entries after a retireReady
+     *  sweep; lowered eagerly by access() in between. */
     Cycle minReadyAt_ = kNever;
     // Hot-path counters cached out of the string-keyed map (null when the
     // owner passed no stats group).

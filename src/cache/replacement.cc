@@ -1,5 +1,7 @@
 #include "cache/replacement.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace fuse
@@ -16,48 +18,123 @@ toString(ReplPolicy policy)
     return "?";
 }
 
-void
-ReplacementPolicy::touch(std::uint32_t, std::uint32_t, std::uint32_t)
-{
-    // Default: timestamp-based policies read CacheLine fields directly.
-}
-
 std::unique_ptr<ReplacementPolicy>
 ReplacementPolicy::create(ReplPolicy policy, std::uint32_t num_sets,
                           std::uint32_t num_ways)
 {
     switch (policy) {
       case ReplPolicy::LRU:
-        return std::make_unique<LruPolicy>();
+        return std::make_unique<LruPolicy>(num_sets, num_ways);
       case ReplPolicy::FIFO:
-        return std::make_unique<FifoPolicy>();
+        return std::make_unique<FifoPolicy>(num_sets, num_ways);
       case ReplPolicy::PseudoLRU:
         return std::make_unique<PseudoLruPolicy>(num_sets, num_ways);
     }
     fuse_panic("unknown replacement policy");
 }
 
-std::uint32_t
-LruPolicy::victim(const std::vector<CacheLine> &ways, std::uint32_t)
+// ------------------------------------------------------------ age list
+
+AgeListPolicy::AgeListPolicy(std::uint32_t num_sets, std::uint32_t num_ways)
+    : numWays_(num_ways),
+      head_(num_sets, kNone),
+      tail_(num_sets, kNone),
+      next_(std::size_t(num_sets) * num_ways, kNone),
+      prev_(std::size_t(num_sets) * num_ways, kNone),
+      stamp_(std::size_t(num_sets) * num_ways, 0),
+      linked_(std::size_t(num_sets) * num_ways, 0)
 {
-    std::uint32_t v = 0;
-    for (std::uint32_t w = 1; w < ways.size(); ++w) {
-        if (ways[w].lastTouch < ways[v].lastTouch)
-            v = w;
+}
+
+void
+AgeListPolicy::unlink(std::uint32_t set, std::uint32_t way)
+{
+    const std::size_t s = slot(set, way);
+    const std::uint32_t p = prev_[s];
+    const std::uint32_t n = next_[s];
+    if (p != kNone)
+        next_[slot(set, p)] = n;
+    else
+        head_[set] = n;
+    if (n != kNone)
+        prev_[slot(set, n)] = p;
+    else
+        tail_[set] = p;
+    linked_[s] = 0;
+}
+
+void
+AgeListPolicy::promote(std::uint32_t set, std::uint32_t way, Cycle stamp)
+{
+    const std::size_t s = slot(set, way);
+    if (linked_[s])
+        unlink(set, way);
+    stamp_[s] = stamp;
+    linked_[s] = 1;
+
+    // Insert in ascending (stamp, way) order. Time is monotonic, so the
+    // spot is the tail except when other ways of this set were stamped in
+    // the same cycle — then the lowest-index-wins-ties order of the
+    // historical scan demands walking past the same-stamp ways with a
+    // larger index.
+    std::uint32_t after = tail_[set];
+    while (after != kNone) {
+        const std::size_t a = slot(set, after);
+        if (stamp_[a] < stamp
+            || (stamp_[a] == stamp && after < way))
+            break;
+        after = prev_[a];
     }
-    return v;
+
+    if (after == kNone) {
+        // New head (oldest position).
+        const std::uint32_t old_head = head_[set];
+        prev_[s] = kNone;
+        next_[s] = old_head;
+        if (old_head != kNone)
+            prev_[slot(set, old_head)] = way;
+        else
+            tail_[set] = way;
+        head_[set] = way;
+        return;
+    }
+    const std::size_t a = slot(set, after);
+    const std::uint32_t n = next_[a];
+    prev_[s] = after;
+    next_[s] = n;
+    next_[a] = way;
+    if (n != kNone)
+        prev_[slot(set, n)] = way;
+    else
+        tail_[set] = way;
+}
+
+void
+AgeListPolicy::onEvict(std::uint32_t set, std::uint32_t way)
+{
+    if (linked_[slot(set, way)])
+        unlink(set, way);
 }
 
 std::uint32_t
-FifoPolicy::victim(const std::vector<CacheLine> &ways, std::uint32_t)
+AgeListPolicy::victim(std::uint32_t set) const
 {
-    std::uint32_t v = 0;
-    for (std::uint32_t w = 1; w < ways.size(); ++w) {
-        if (ways[w].insertedAt < ways[v].insertedAt)
-            v = w;
-    }
-    return v;
+    const std::uint32_t v = head_[set];
+    // The owner only asks once every way is filled; an empty list would
+    // mean a protocol violation, so fall back to way 0 like the old
+    // scan's neutral starting point rather than indexing out of bounds.
+    return v == kNone ? 0 : v;
 }
+
+void
+AgeListPolicy::reset()
+{
+    std::fill(head_.begin(), head_.end(), kNone);
+    std::fill(tail_.begin(), tail_.end(), kNone);
+    std::fill(linked_.begin(), linked_.end(), 0);
+}
+
+// ----------------------------------------------------------- pseudo-LRU
 
 PseudoLruPolicy::PseudoLruPolicy(std::uint32_t num_sets,
                                  std::uint32_t num_ways)
@@ -71,19 +148,18 @@ PseudoLruPolicy::PseudoLruPolicy(std::uint32_t num_sets,
 }
 
 std::uint32_t
-PseudoLruPolicy::victim(const std::vector<CacheLine> &ways,
-                        std::uint32_t set_index)
+PseudoLruPolicy::victim(std::uint32_t set) const
 {
     if (numWays_ == 1)
         return 0;
-    std::uint8_t *tree = &bits_[std::size_t(set_index) * treeNodes_];
+    const std::uint8_t *tree = &bits_[std::size_t(set) * treeNodes_];
     // Walk from the root following the bits: 0 means "left is older".
     std::uint32_t node = 0;
     while (node < treeNodes_) {
         std::uint32_t next = 2 * node + 1 + tree[node];
         if (next >= treeNodes_) {
             std::uint32_t way = next - treeNodes_;
-            return way < ways.size() ? way : 0;
+            return way < numWays_ ? way : 0;
         }
         node = next;
     }
@@ -91,12 +167,11 @@ PseudoLruPolicy::victim(const std::vector<CacheLine> &ways,
 }
 
 void
-PseudoLruPolicy::touch(std::uint32_t set_index, std::uint32_t way,
-                       std::uint32_t num_ways)
+PseudoLruPolicy::touch(std::uint32_t set, std::uint32_t way)
 {
     if (numWays_ == 1)
         return;
-    std::uint8_t *tree = &bits_[std::size_t(set_index) * treeNodes_];
+    std::uint8_t *tree = &bits_[std::size_t(set) * treeNodes_];
     // Walk from the leaf up, pointing every node away from this way.
     std::uint32_t node = treeNodes_ + way;
     while (node > 0) {
@@ -106,7 +181,12 @@ PseudoLruPolicy::touch(std::uint32_t set_index, std::uint32_t way,
         tree[parent] = came_from_right ? 0 : 1;
         node = parent;
     }
-    (void)num_ways;
+}
+
+void
+PseudoLruPolicy::reset()
+{
+    std::fill(bits_.begin(), bits_.end(), 0);
 }
 
 } // namespace fuse

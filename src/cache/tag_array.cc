@@ -5,12 +5,33 @@
 namespace fuse
 {
 
+namespace
+{
+
+std::uint32_t
+countTrailingZeros(std::uint64_t word)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<std::uint32_t>(__builtin_ctzll(word));
+#else
+    std::uint32_t n = 0;
+    while (!(word & 1)) {
+        word >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+} // namespace
+
 TagArray::TagArray(std::uint32_t num_sets, std::uint32_t num_ways,
                    ReplPolicy policy)
     : numSets_(num_sets),
       numWays_(num_ways),
-      sets_(num_sets, std::vector<CacheLine>(num_ways)),
-      repl_(ReplacementPolicy::create(policy, num_sets, num_ways))
+      lines_(std::size_t(num_sets) * num_ways),
+      repl_(ReplacementPolicy::create(policy, num_sets, num_ways)),
+      wordsPerSet_((num_ways + 63) / 64)
 {
     if (num_sets == 0 || num_ways == 0)
         fuse_fatal("tag array needs nonzero geometry (%u sets, %u ways)",
@@ -19,16 +40,13 @@ TagArray::TagArray(std::uint32_t num_sets, std::uint32_t num_ways,
         setMask_ = num_sets - 1;
     if (num_ways > kIndexedWaysThreshold)
         index_ = std::make_unique<FlatAddrMap<std::uint32_t>>(numLines());
-}
-
-std::vector<CacheLine> &
-TagArray::setOf(Addr line_addr)
-{
-    return sets_[setIndex(line_addr)];
+    freeBits_.resize(std::size_t(numSets_) * wordsPerSet_);
+    freeCount_.resize(numSets_);
+    clear();
 }
 
 std::uint32_t
-TagArray::wayOf(Addr line_addr, const std::vector<CacheLine> &ways) const
+TagArray::wayOf(Addr line_addr, const CacheLine *ways) const
 {
     if (index_) {
         const std::uint32_t *w = index_->find(line_addr);
@@ -41,23 +59,53 @@ TagArray::wayOf(Addr line_addr, const std::vector<CacheLine> &ways) const
     return kWayNone;
 }
 
+std::uint32_t
+TagArray::lowestFreeWay(std::uint32_t set) const
+{
+    const std::uint64_t *words = &freeBits_[std::size_t(set) * wordsPerSet_];
+    for (std::uint32_t i = 0; i < wordsPerSet_; ++i) {
+        if (words[i])
+            return i * 64 + countTrailingZeros(words[i]);
+    }
+    fuse_panic("lowestFreeWay called on a full set");
+}
+
+void
+TagArray::markOccupied(std::uint32_t set, std::uint32_t way)
+{
+    freeBits_[std::size_t(set) * wordsPerSet_ + way / 64] &=
+        ~(std::uint64_t(1) << (way % 64));
+    --freeCount_[set];
+    ++occupied_;
+}
+
+void
+TagArray::markFree(std::uint32_t set, std::uint32_t way)
+{
+    freeBits_[std::size_t(set) * wordsPerSet_ + way / 64] |=
+        std::uint64_t(1) << (way % 64);
+    ++freeCount_[set];
+    --occupied_;
+}
+
 CacheLine *
 TagArray::probe(Addr line_addr, Cycle now)
 {
-    std::uint32_t set = setIndex(line_addr);
-    auto &ways = sets_[set];
+    const std::uint32_t set = setIndex(line_addr);
+    CacheLine *ways = &lines_[std::size_t(set) * numWays_];
     const std::uint32_t w = wayOf(line_addr, ways);
     if (w == kWayNone)
         return nullptr;
     ways[w].lastTouch = now;
-    repl_->touch(set, w, numWays_);
+    repl_->onHit(set, w, now);
     return &ways[w];
 }
 
 const CacheLine *
 TagArray::peek(Addr line_addr) const
 {
-    const auto &ways = sets_[setIndex(line_addr)];
+    const std::uint32_t set = setIndex(line_addr);
+    const CacheLine *ways = &lines_[std::size_t(set) * numWays_];
     const std::uint32_t w = wayOf(line_addr, ways);
     return w == kWayNone ? nullptr : &ways[w];
 }
@@ -65,41 +113,42 @@ TagArray::peek(Addr line_addr) const
 std::optional<Eviction>
 TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
 {
-    std::uint32_t set = setIndex(line_addr);
-    auto &ways = sets_[set];
+    const std::uint32_t set = setIndex(line_addr);
+    CacheLine *ways = &lines_[std::size_t(set) * numWays_];
 
-    // Refill over an existing copy (shouldn't normally happen, but be safe).
+    // Refill over an existing copy (shouldn't normally happen, but be
+    // safe): recency updates, insertion age does not.
     const std::uint32_t resident = wayOf(line_addr, ways);
     if (resident != kWayNone) {
         ways[resident].lastTouch = now;
-        repl_->touch(set, resident, numWays_);
+        repl_->onHit(set, resident, now);
         if (filled)
             *filled = &ways[resident];
         return std::nullopt;
     }
 
-    // Prefer an invalid way.
-    for (std::uint32_t w = 0; w < numWays_; ++w) {
-        if (!ways[w].valid) {
-            ways[w].resetForFill(line_addr, now);
-            repl_->touch(set, w, numWays_);
-            if (index_)
-                *index_->insert(line_addr) = w;
-            if (filled)
-                *filled = &ways[w];
-            return std::nullopt;
-        }
+    // Prefer a free way (lowest index first, via the occupancy bitmap).
+    if (freeCount_[set] > 0) {
+        const std::uint32_t w = lowestFreeWay(set);
+        markOccupied(set, w);
+        ways[w].resetForFill(line_addr, now);
+        repl_->onFill(set, w, now);
+        if (index_)
+            *index_->insert(line_addr) = w;
+        if (filled)
+            *filled = &ways[w];
+        return std::nullopt;
     }
 
-    // Evict per policy.
-    std::uint32_t victim = repl_->victim(ways, set);
+    // Evict per policy: O(1) from the engine's per-set state.
+    const std::uint32_t victim = repl_->victim(set);
     Eviction ev{ways[victim]};
     if (index_) {
         index_->erase(ev.line.tag);
         *index_->insert(line_addr) = victim;
     }
     ways[victim].resetForFill(line_addr, now);
-    repl_->touch(set, victim, numWays_);
+    repl_->onFill(set, victim, now);
     if (filled)
         *filled = &ways[victim];
     return ev;
@@ -108,47 +157,50 @@ TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
 std::optional<CacheLine>
 TagArray::invalidate(Addr line_addr)
 {
-    auto &ways = setOf(line_addr);
+    const std::uint32_t set = setIndex(line_addr);
+    CacheLine *ways = &lines_[std::size_t(set) * numWays_];
     const std::uint32_t w = wayOf(line_addr, ways);
     if (w == kWayNone)
         return std::nullopt;
     CacheLine copy = ways[w];
     ways[w].valid = false;
+    markFree(set, w);
+    repl_->onEvict(set, w);
     if (index_)
         index_->erase(line_addr);
     return copy;
-}
-
-std::uint32_t
-TagArray::occupancy() const
-{
-    std::uint32_t n = 0;
-    for (const auto &ways : sets_) {
-        for (const auto &line : ways)
-            n += line.valid ? 1 : 0;
-    }
-    return n;
 }
 
 void
 TagArray::forEachValid(
     const std::function<void(const CacheLine &)> &fn) const
 {
-    for (const auto &ways : sets_) {
-        for (const auto &line : ways) {
-            if (line.valid)
-                fn(line);
-        }
+    for (const auto &line : lines_) {
+        if (line.valid)
+            fn(line);
     }
 }
 
 void
 TagArray::clear()
 {
-    for (auto &ways : sets_) {
-        for (auto &line : ways)
-            line = CacheLine{};
+    for (auto &line : lines_)
+        line = CacheLine{};
+    // Every way of every set becomes free; mask off the bits beyond
+    // numWays_ in the last word so lowestFreeWay never returns them.
+    for (std::uint32_t set = 0; set < numSets_; ++set) {
+        std::uint64_t *words = &freeBits_[std::size_t(set) * wordsPerSet_];
+        for (std::uint32_t i = 0; i < wordsPerSet_; ++i) {
+            const std::uint32_t base = i * 64;
+            const std::uint32_t left =
+                numWays_ > base ? numWays_ - base : 0;
+            words[i] = left >= 64 ? ~std::uint64_t(0)
+                                  : (std::uint64_t(1) << left) - 1;
+        }
+        freeCount_[set] = numWays_;
     }
+    occupied_ = 0;
+    repl_->reset();
     if (index_)
         index_->clear();
 }

@@ -2,6 +2,12 @@
  * @file
  * A set-associative tag array: the lookup/insert/evict core reused by the
  * SRAM L1D bank, the STT-MRAM bank, and the shared L2 cache.
+ *
+ * No operation scans the ways on the hot path any more: residency is
+ * answered by a short direct scan (narrow arrays) or the flat-map index
+ * (wide/FA arrays), free ways come from a per-set occupancy bitmap
+ * (lowest-index-first, like the historical invalid-way scan), and the
+ * victim comes from the event-driven replacement engine in O(1).
  */
 
 #ifndef FUSE_CACHE_TAG_ARRAY_HH
@@ -59,7 +65,7 @@ class TagArray
     std::optional<CacheLine> invalidate(Addr line_addr);
 
     /** Number of valid lines currently resident. */
-    std::uint32_t occupancy() const;
+    std::uint32_t occupancy() const { return occupied_; }
 
     std::uint32_t numSets() const { return numSets_; }
     std::uint32_t numWays() const { return numWays_; }
@@ -88,18 +94,31 @@ class TagArray
      *  hundreds of ways; a 2-4 way SRAM bank scans faster directly). */
     static constexpr std::uint32_t kIndexedWaysThreshold = 8;
 
-    std::vector<CacheLine> &setOf(Addr line_addr);
-
     /** Way of @p line_addr in its set, or kWayNone. */
     static constexpr std::uint32_t kWayNone = ~std::uint32_t(0);
-    std::uint32_t wayOf(Addr line_addr, const std::vector<CacheLine> &ways)
-        const;
+    std::uint32_t wayOf(Addr line_addr, const CacheLine *ways) const;
+
+    /** Lowest free way of @p set (pre-condition: freeCount_[set] > 0). */
+    std::uint32_t lowestFreeWay(std::uint32_t set) const;
+    void markOccupied(std::uint32_t set, std::uint32_t way);
+    void markFree(std::uint32_t set, std::uint32_t way);
 
     std::uint32_t numSets_;
     std::uint32_t numWays_;
     Addr setMask_ = kNoMask;   ///< numSets_-1 when numSets_ is a power of 2.
-    std::vector<std::vector<CacheLine>> sets_;
+    /** All lines, set-major: the ways of set s start at s * numWays_. */
+    std::vector<CacheLine> lines_;
     std::unique_ptr<ReplacementPolicy> repl_;
+
+    /** Free-way bitmap, wordsPerSet_ 64-bit words per set. Bit w of the
+     *  set's words is 1 iff way w is invalid; the lowest set bit is the
+     *  fill target, preserving the historical lowest-index-first
+     *  invalid-way preference without scanning CacheLines. */
+    std::vector<std::uint64_t> freeBits_;
+    std::vector<std::uint32_t> freeCount_;  ///< Free ways per set.
+    std::uint32_t wordsPerSet_;
+    std::uint32_t occupied_ = 0;            ///< Valid lines in total.
+
     /** line address -> way residency index; maintained by fill/invalidate/
      *  clear, only for wide arrays (see kIndexedWaysThreshold). */
     std::unique_ptr<FlatAddrMap<std::uint32_t>> index_;

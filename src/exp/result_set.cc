@@ -114,4 +114,23 @@ ResultSet::normalizedSeries(L1DKind kind, L1DKind baseline_kind,
                        series(baseline_kind, get, baseline_variant));
 }
 
+void
+ResultSet::merge(const ResultSet &other)
+{
+    if (name_ != other.name_ || benchmarks_ != other.benchmarks_
+        || kinds_ != other.kinds_ || variantLabels_ != other.variantLabels_)
+        fuse_fatal("ResultSet::merge: incompatible grids ('%s' vs '%s')",
+                   name_.c_str(), other.name_.c_str());
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        if (!other.runs_[i].valid)
+            continue;
+        if (runs_[i].valid)
+            fuse_fatal("ResultSet::merge: cell %zu (%s, %s) filled by "
+                       "both sides — overlapping shards?",
+                       i, other.runs_[i].benchmark.c_str(),
+                       toString(other.runs_[i].kind));
+        runs_[i] = other.runs_[i];
+    }
+}
+
 } // namespace fuse

@@ -102,6 +102,14 @@ class ResultSet
         L1DKind kind, L1DKind baseline_kind, const MetricGetter &get,
         std::size_t variant = 0, std::size_t baseline_variant = 0) const;
 
+    /**
+     * Copy @p other's completed cells into this grid (campaign-scale
+     * fan-out: each `fuse_sweep --shard i/N` invocation fills a disjoint
+     * subset; merging the N shards reproduces the unsharded run cell for
+     * cell). Fatal if the grids differ or a cell is filled twice.
+     */
+    void merge(const ResultSet &other);
+
   private:
     std::string name_;
     std::vector<std::string> benchmarks_;

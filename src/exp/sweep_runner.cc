@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/log.hh"
 #include "sim/simulator.hh"
 
 namespace fuse
@@ -66,8 +67,13 @@ SweepRunner::SweepRunner(unsigned threads)
 {}
 
 ResultSet
-SweepRunner::run(const ExperimentSpec &spec) const
+SweepRunner::run(const ExperimentSpec &spec, std::size_t shard_index,
+                 std::size_t shard_count) const
 {
+    if (shard_count == 0 || shard_index >= shard_count)
+        fuse_fatal("invalid shard %zu/%zu (want 0 <= index < count)",
+                   shard_index, shard_count);
+
     ResultSet results(spec.name, spec.benchmarks, spec.kinds,
                       spec.variantLabels());
 
@@ -78,13 +84,20 @@ SweepRunner::run(const ExperimentSpec &spec) const
     for (std::size_t v = 0; v < spec.variantCount(); ++v)
         configs.push_back(spec.configFor(v));
 
-    const std::size_t total = results.size();
+    // This shard's slice of the flat grid (everything when unsharded).
+    std::vector<std::size_t> cells;
+    for (std::size_t i = shard_index; i < results.size();
+         i += shard_count)
+        cells.push_back(i);
+
+    const std::size_t total = cells.size();
     std::size_t done = 0; // Guarded by progress_mutex.
     std::mutex progress_mutex;
 
     const std::size_t kinds = spec.kinds.size();
     const std::size_t variants = spec.variantCount();
-    parallelFor(total, threads_, [&](std::size_t i) {
+    parallelFor(total, threads_, [&](std::size_t cell) {
+        const std::size_t i = cells[cell];
         const std::size_t k = i % kinds;
         const std::size_t v = (i / kinds) % variants;
         const std::size_t b = i / (kinds * variants);

@@ -293,6 +293,67 @@ TEST(SweepRunner, ReportsProgressForEveryRun)
     EXPECT_EQ(calls, spec.runCount());
 }
 
+// ------------------------------------------------------- sharding
+
+TEST(SweepRunner, ShardAndMergeEqualsUnshardedRun)
+{
+    const ExperimentSpec spec = smallSpec();
+    const ResultSet full = SweepRunner(1).run(spec);
+
+    constexpr std::size_t kShards = 3;
+    ResultSet merged = SweepRunner(2).run(spec, 0, kShards);
+    for (std::size_t s = 1; s < kShards; ++s)
+        merged.merge(SweepRunner(2).run(spec, s, kShards));
+
+    expectIdenticalResults(full, merged);
+}
+
+TEST(SweepRunner, ShardsPartitionTheGrid)
+{
+    const ExperimentSpec spec = smallSpec();
+    constexpr std::size_t kShards = 3;
+    std::vector<int> owners(spec.runCount(), 0);
+    for (std::size_t s = 0; s < kShards; ++s) {
+        const ResultSet shard = SweepRunner(1).run(spec, s, kShards);
+        ASSERT_EQ(shard.size(), spec.runCount());
+        for (std::size_t i = 0; i < shard.size(); ++i)
+            owners[i] += shard.at(i).valid ? 1 : 0;
+    }
+    // Every cell simulated exactly once across the shards.
+    for (std::size_t i = 0; i < owners.size(); ++i)
+        EXPECT_EQ(owners[i], 1) << "cell " << i;
+}
+
+TEST(SweepRunner, RejectsInvalidShard)
+{
+    const ExperimentSpec spec = smallSpec();
+    EXPECT_EXIT({ SweepRunner(1).run(spec, 3, 3); },
+                ::testing::ExitedWithCode(1), "invalid shard");
+    EXPECT_EXIT({ SweepRunner(1).run(spec, 0, 0); },
+                ::testing::ExitedWithCode(1), "invalid shard");
+}
+
+TEST(ResultSet, MergeRejectsMismatchedGridsAndOverlap)
+{
+    const ExperimentSpec spec = smallSpec();
+    const ResultSet shard0 = SweepRunner(1).run(spec, 0, 2);
+
+    ExperimentSpec other = spec;
+    other.name = "different";
+    const ResultSet alien = SweepRunner(1).run(other, 0, 2);
+
+    {
+        ResultSet merged = shard0;
+        EXPECT_EXIT({ merged.merge(alien); },
+                    ::testing::ExitedWithCode(1), "incompatible grids");
+    }
+    {
+        ResultSet merged = shard0;
+        EXPECT_EXIT({ merged.merge(shard0); },
+                    ::testing::ExitedWithCode(1), "filled by both sides");
+    }
+}
+
 // ------------------------------------------------------ result set
 
 TEST(ResultSet, SeriesAndNormalisation)

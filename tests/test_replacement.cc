@@ -1,6 +1,9 @@
 /**
  * @file
- * Unit tests for replacement policies (LRU, FIFO, PseudoLRU).
+ * Unit tests for the event-driven replacement engines (LRU, FIFO,
+ * PseudoLRU): hook semantics, tie breaking, and per-set independence.
+ * Bit-exact equivalence with the historical scan-based victim logic is
+ * covered separately by tests/test_replacement_parity.cc.
  */
 
 #include <gtest/gtest.h>
@@ -12,62 +15,104 @@ namespace fuse
 namespace
 {
 
-std::vector<CacheLine>
-makeSet(std::size_t ways)
+/** Fill ways 0..n-1 of set 0 at cycles 0..n-1 (the usual warm-up shape). */
+template <typename Policy>
+void
+warmUp(Policy &policy, std::uint32_t set, std::uint32_t ways)
 {
-    std::vector<CacheLine> set(ways);
-    for (std::size_t w = 0; w < ways; ++w) {
-        set[w].valid = true;
-        set[w].tag = w;
-        set[w].insertedAt = w;
-        set[w].lastTouch = w;
-    }
-    return set;
+    for (std::uint32_t w = 0; w < ways; ++w)
+        policy.onFill(set, w, w);
 }
 
 TEST(Lru, EvictsLeastRecentlyTouched)
 {
-    auto set = makeSet(4);
-    set[2].lastTouch = 100;  // most recent
-    set[0].lastTouch = 50;
-    set[1].lastTouch = 10;
-    set[3].lastTouch = 5;    // oldest
-    LruPolicy lru;
-    EXPECT_EQ(lru.victim(set, 0), 3u);
+    LruPolicy lru(1, 4);
+    warmUp(lru, 0, 4);
+    lru.onHit(0, 3, 5);   // was oldest, now freshest
+    lru.onHit(0, 1, 10);
+    lru.onHit(0, 0, 50);
+    lru.onHit(0, 2, 100); // most recent
+    EXPECT_EQ(lru.victim(0), 3u);
 }
 
 TEST(Lru, TieBreaksToLowestWay)
 {
-    auto set = makeSet(4);
-    for (auto &line : set)
-        line.lastTouch = 7;
-    LruPolicy lru;
-    EXPECT_EQ(lru.victim(set, 0), 0u);
+    LruPolicy lru(1, 4);
+    warmUp(lru, 0, 4);
+    // Touch every way in the same cycle, in descending way order: the
+    // historical timestamp scan picked the lowest way index on ties, so
+    // the event order within the cycle must not leak into the choice.
+    for (std::uint32_t w = 4; w-- > 0;)
+        lru.onHit(0, w, 7);
+    EXPECT_EQ(lru.victim(0), 0u);
+}
+
+TEST(Lru, VictimChainsThroughEvictions)
+{
+    LruPolicy lru(1, 2);
+    lru.onFill(0, 0, 1);
+    lru.onFill(0, 1, 2);
+    EXPECT_EQ(lru.victim(0), 0u);
+    lru.onFill(0, 0, 3);  // replace the victim
+    EXPECT_EQ(lru.victim(0), 1u);
+    lru.onHit(0, 1, 4);
+    EXPECT_EQ(lru.victim(0), 0u);
 }
 
 TEST(Fifo, EvictsOldestInsertion)
 {
-    auto set = makeSet(4);
-    set[1].insertedAt = 0;    // first in
-    set[0].insertedAt = 10;
-    set[2].insertedAt = 20;
-    set[3].insertedAt = 30;
-    // Touch times should be irrelevant to FIFO.
-    set[1].lastTouch = 1000;
-    FifoPolicy fifo;
-    EXPECT_EQ(fifo.victim(set, 0), 1u);
+    FifoPolicy fifo(1, 4);
+    fifo.onFill(0, 1, 0);   // first in
+    fifo.onFill(0, 0, 10);
+    fifo.onFill(0, 2, 20);
+    fifo.onFill(0, 3, 30);
+    // Touch times must be irrelevant to FIFO.
+    fifo.onHit(0, 1, 1000);
+    EXPECT_EQ(fifo.victim(0), 1u);
+}
+
+TEST(Fifo, RingOrderUnderSequentialFills)
+{
+    // Warm up 0..3, then keep replacing the victim: the choice must cycle
+    // through the ways like the hardware ring cursor.
+    FifoPolicy fifo(1, 4);
+    warmUp(fifo, 0, 4);
+    Cycle now = 10;
+    for (std::uint32_t round = 0; round < 12; ++round) {
+        const std::uint32_t v = fifo.victim(0);
+        EXPECT_EQ(v, round % 4);
+        fifo.onFill(0, v, now++);
+    }
+}
+
+TEST(AgeList, EvictedWayLeavesTheList)
+{
+    LruPolicy lru(1, 4);
+    warmUp(lru, 0, 4);
+    lru.onEvict(0, 0);  // invalidate the current LRU way
+    // Way 0 is free now; once re-filled it becomes the freshest.
+    lru.onFill(0, 0, 100);
+    EXPECT_EQ(lru.victim(0), 1u);
+}
+
+TEST(AgeList, ResetForgetsEverything)
+{
+    FifoPolicy fifo(2, 4);
+    warmUp(fifo, 0, 4);
+    warmUp(fifo, 1, 4);
+    fifo.reset();
+    fifo.onFill(0, 2, 50);
+    fifo.onFill(0, 1, 60);
+    EXPECT_EQ(fifo.victim(0), 2u);
 }
 
 TEST(PseudoLru, VictimAvoidsRecentlyTouchedWay)
 {
     PseudoLruPolicy plru(1, 4);
-    auto set = makeSet(4);
-    // Touch ways 0..2; the tree should then point at 3 or at least not
-    // at the last-touched way.
-    plru.touch(0, 0, 4);
-    plru.touch(0, 1, 4);
-    plru.touch(0, 2, 4);
-    std::uint32_t victim = plru.victim(set, 0);
+    plru.onHit(0, 0, 1);
+    plru.onHit(0, 1, 2);
+    plru.onHit(0, 2, 3);
+    std::uint32_t victim = plru.victim(0);
     EXPECT_NE(victim, 2u);
     EXPECT_LT(victim, 4u);
 }
@@ -75,23 +120,21 @@ TEST(PseudoLru, VictimAvoidsRecentlyTouchedWay)
 TEST(PseudoLru, RepeatedTouchSingleWayNeverVictimizesIt)
 {
     PseudoLruPolicy plru(2, 8);
-    auto set = makeSet(8);
     for (int i = 0; i < 16; ++i) {
-        plru.touch(1, 5, 8);
-        EXPECT_NE(plru.victim(set, 1), 5u);
+        plru.onHit(1, 5, static_cast<Cycle>(i));
+        EXPECT_NE(plru.victim(1), 5u);
     }
 }
 
 TEST(PseudoLru, SetsAreIndependent)
 {
     PseudoLruPolicy plru(2, 4);
-    auto set = makeSet(4);
-    plru.touch(0, 3, 4);
+    plru.onHit(0, 3, 1);
     // Set 1 state untouched: victim choice in set 1 unaffected by set 0.
-    std::uint32_t v1_before = plru.victim(set, 1);
-    plru.touch(0, 1, 4);
-    plru.touch(0, 2, 4);
-    EXPECT_EQ(plru.victim(set, 1), v1_before);
+    std::uint32_t v1_before = plru.victim(1);
+    plru.onHit(0, 1, 2);
+    plru.onHit(0, 2, 3);
+    EXPECT_EQ(plru.victim(1), v1_before);
 }
 
 TEST(Factory, CreatesEachPolicy)
@@ -111,14 +154,22 @@ TEST(Factory, NamesAreStable)
     EXPECT_STREQ(toString(ReplPolicy::PseudoLRU), "PseudoLRU");
 }
 
-/** Property: under an LRU-friendly cyclic pattern, FIFO and LRU pick the
- *  same victim (insertion order == touch order when nothing re-touches). */
+/** Property: without re-touches, insertion order == recency order, so
+ *  FIFO and LRU agree on every victim. */
 TEST(Property, FifoEqualsLruWithoutReuse)
 {
-    auto set = makeSet(8);
-    LruPolicy lru;
-    FifoPolicy fifo;
-    EXPECT_EQ(lru.victim(set, 0), fifo.victim(set, 0));
+    LruPolicy lru(1, 8);
+    FifoPolicy fifo(1, 8);
+    warmUp(lru, 0, 8);
+    warmUp(fifo, 0, 8);
+    Cycle now = 100;
+    for (int round = 0; round < 32; ++round) {
+        const std::uint32_t v = lru.victim(0);
+        ASSERT_EQ(v, fifo.victim(0));
+        lru.onFill(0, v, now);
+        fifo.onFill(0, v, now);
+        ++now;
+    }
 }
 
 } // namespace

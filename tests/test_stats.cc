@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/mshr.hh"
+#include "common/rng.hh"
 #include "common/flat_map.hh"
 #include "common/stats.hh"
 
@@ -221,6 +222,181 @@ TEST(MshrFlatTable, MinReadyAtTracksAcrossRetires)
     EXPECT_EQ(mshr.minReadyAt(), 20u);
     mshr.retireReady(100);
     EXPECT_EQ(mshr.size(), 0u);
+}
+
+// --------------------------------------------------- MSHR ready queue
+//
+// retireReady() used to sweep the whole slot array per ready batch; it
+// now pops a ready min-heap. The observable contract — which entries
+// survive each sweep, and the exact minReadyAt (it schedules Full-stall
+// retries, so it is timing-visible) — must be bit-identical to the old
+// sweep. The reference below reimplements the historical semantics over
+// a plain vector.
+
+/** The pre-heap Mshr retirement semantics, kept as a test reference. */
+class ReferenceMshr
+{
+  public:
+    explicit ReferenceMshr(std::uint32_t capacity) : capacity_(capacity) {}
+
+    MshrResult::Kind
+    access(Addr line, Cycle ready_at)
+    {
+        for (auto &e : entries_) {
+            if (e.lineAddr == line) {
+                ++e.mergedCount;
+                return MshrResult::Kind::Merged;
+            }
+        }
+        if (entries_.size() >= capacity_)
+            return MshrResult::Kind::Full;
+        MshrEntry e;
+        e.lineAddr = line;
+        e.readyAt = ready_at;
+        entries_.push_back(e);
+        if (ready_at < minReadyAt_)
+            minReadyAt_ = ready_at;
+        return MshrResult::Kind::NewMiss;
+    }
+
+    void
+    retire(Addr line)
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].lineAddr == line) {
+                entries_.erase(entries_.begin() + i);
+                return;
+            }
+        }
+    }
+
+    void
+    retireReady(Cycle now)
+    {
+        if (entries_.empty() || now < minReadyAt_)
+            return;
+        // The historical slow sweep: drop elapsed entries, recompute the
+        // exact minimum over the survivors.
+        Cycle new_min = ~Cycle(0);
+        std::vector<MshrEntry> kept;
+        for (const auto &e : entries_) {
+            if (e.readyAt <= now)
+                continue;
+            if (e.readyAt < new_min)
+                new_min = e.readyAt;
+            kept.push_back(e);
+        }
+        entries_ = std::move(kept);
+        minReadyAt_ = new_min;
+    }
+
+    const MshrEntry *
+    find(Addr line) const
+    {
+        for (const auto &e : entries_) {
+            if (e.lineAddr == line)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    Cycle minReadyAt() const { return minReadyAt_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::vector<MshrEntry> entries_;
+    Cycle minReadyAt_ = ~Cycle(0);
+};
+
+TEST(MshrReadyQueue, RetirementMatchesLegacySweepUnderChurn)
+{
+    constexpr std::uint32_t kCapacity = 16;
+    Mshr mshr(kCapacity);
+    ReferenceMshr ref(kCapacity);
+    Rng rng(2024);
+
+    // A small address pool forces merges, re-allocations of retired
+    // lines, and probe-chain collisions in the flat table.
+    std::vector<Addr> pool;
+    for (Addr i = 0; i < 40; ++i)
+        pool.push_back(((i % 5) << 40) | (i * 128));
+
+    Cycle now = 0;
+    std::vector<Addr> inflight;
+    for (int step = 0; step < 200000; ++step) {
+        now += rng.below(3);
+        const double roll = rng.uniform();
+        if (roll < 0.55) {
+            const Addr line = pool[rng.below(pool.size())];
+            const Cycle ready = now + 1 + rng.below(100);
+            const auto got = mshr.access(line, ready, BankId::Sram);
+            const auto want = ref.access(line, ready);
+            ASSERT_EQ(got.kind, want) << "step " << step;
+            if (want == MshrResult::Kind::NewMiss)
+                inflight.push_back(line);
+        } else if (roll < 0.65 && !inflight.empty()) {
+            // Early explicit retire (fill applied out of band).
+            const std::size_t pick = rng.below(inflight.size());
+            const Addr line = inflight[pick];
+            inflight.erase(inflight.begin() + pick);
+            mshr.retire(line);
+            ref.retire(line);
+        } else {
+            mshr.retireReady(now);
+            ref.retireReady(now);
+            inflight.clear();
+            // Surviving set and the timing-visible minimum must match
+            // the legacy sweep exactly.
+            ASSERT_EQ(mshr.size(), ref.size()) << "step " << step;
+            ASSERT_EQ(mshr.minReadyAt(), ref.minReadyAt())
+                << "step " << step;
+            for (const Addr line : pool) {
+                const MshrEntry *e = mshr.find(line);
+                const MshrEntry *r = ref.find(line);
+                ASSERT_EQ(e != nullptr, r != nullptr)
+                    << "step " << step << " line " << line;
+                if (e) {
+                    ASSERT_EQ(e->readyAt, r->readyAt) << "step " << step;
+                    ASSERT_EQ(e->mergedCount, r->mergedCount)
+                        << "step " << step;
+                    inflight.push_back(line);
+                }
+            }
+        }
+    }
+}
+
+TEST(MshrReadyQueue, ReallocatedLineDoesNotResurrectStaleRecord)
+{
+    // Allocate, retire early, re-allocate the same line with a *later*
+    // fill time: the stale heap record must not retire the new entry.
+    Mshr mshr(4);
+    mshr.access(0x80, 10, BankId::Sram);
+    mshr.retire(0x80);
+    mshr.access(0x80, 50, BankId::SttMram);
+    mshr.retireReady(20);  // stale record (readyAt 10) surfaces here
+    ASSERT_NE(mshr.find(0x80), nullptr);
+    EXPECT_EQ(mshr.find(0x80)->readyAt, 50u);
+    EXPECT_EQ(mshr.minReadyAt(), 50u);
+    mshr.retireReady(50);
+    EXPECT_EQ(mshr.find(0x80), nullptr);
+    EXPECT_EQ(mshr.size(), 0u);
+}
+
+TEST(MshrReadyQueue, ClearDropsQueuedRecords)
+{
+    Mshr mshr(4);
+    mshr.access(0x100, 10, BankId::Sram);
+    mshr.access(0x200, 20, BankId::Sram);
+    mshr.clear();
+    EXPECT_EQ(mshr.size(), 0u);
+    // Records from before the clear must not retire post-clear entries.
+    mshr.access(0x300, 30, BankId::Sram);
+    mshr.retireReady(25);
+    ASSERT_NE(mshr.find(0x300), nullptr);
+    mshr.retireReady(30);
+    EXPECT_EQ(mshr.find(0x300), nullptr);
 }
 
 } // namespace

@@ -49,6 +49,10 @@ usage()
         "  --kinds LIST      override the L1D kinds (spec mode)\n"
         "  --threads N       worker threads (default: FUSE_THREADS or\n"
         "                    all cores)\n"
+        "  --shard I/N       run only grid cells I (1-based) of N: fan a\n"
+        "                    campaign across machines, export each shard,\n"
+        "                    merge offline (cells are seeded from the\n"
+        "                    spec, so shard-and-merge == one big run)\n"
         "  --json FILE       export results as JSON ('-' = stdout)\n"
         "  --csv FILE        export results as CSV ('-' = stdout)\n"
         "  --quiet           skip the rendered tables (exports only)\n"
@@ -112,6 +116,8 @@ main(int argc, char **argv)
     std::string json_path;
     std::string csv_path;
     unsigned threads = 0;
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 1;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -144,6 +150,18 @@ main(int argc, char **argv)
             if (end == text.c_str() || *end != '\0')
                 fuse_fatal("--threads needs a number, got '%s'",
                            text.c_str());
+        } else if (arg == "--shard") {
+            const std::string text = value();
+            char *end = nullptr;
+            const unsigned long i = std::strtoul(text.c_str(), &end, 10);
+            unsigned long n = 0;
+            if (end != text.c_str() && *end == '/')
+                n = std::strtoul(end + 1, &end, 10);
+            if (*end != '\0' || n == 0 || i == 0 || i > n)
+                fuse_fatal("--shard wants I/N with 1 <= I <= N, got '%s'",
+                           text.c_str());
+            shard_index = static_cast<std::size_t>(i - 1);
+            shard_count = static_cast<std::size_t>(n);
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
@@ -211,10 +229,16 @@ main(int argc, char **argv)
     }
 
     fuse::SweepRunner runner(threads);
-    if (spec.runCount() > 0)
-        std::fprintf(stderr, "%s: %zu runs on %u threads\n",
-                     spec.name.c_str(), spec.runCount(),
-                     runner.threads());
+    if (spec.runCount() > 0) {
+        if (shard_count > 1)
+            std::fprintf(stderr, "%s: shard %zu/%zu of %zu runs on %u "
+                         "threads\n", spec.name.c_str(), shard_index + 1,
+                         shard_count, spec.runCount(), runner.threads());
+        else
+            std::fprintf(stderr, "%s: %zu runs on %u threads\n",
+                         spec.name.c_str(), spec.runCount(),
+                         runner.threads());
+    }
     runner.onProgress([](const fuse::RunResult &run, std::size_t done,
                          std::size_t total) {
         std::fprintf(stderr, "  [%zu/%zu] %s %s %s\n", done, total,
@@ -222,10 +246,16 @@ main(int argc, char **argv)
                      run.variantLabel.c_str());
     });
 
-    fuse::ResultSet results = runner.run(spec);
+    fuse::ResultSet results = runner.run(spec, shard_index, shard_count);
 
     if (!quiet) {
-        if (fig)
+        if (fig && shard_count > 1)
+            // Figure renderers assume the full grid; a shard only has
+            // its slice, so hold the tables and let the exports carry it.
+            std::fprintf(stderr, "shard %zu/%zu: skipping the figure "
+                         "tables (merge the shard exports first)\n",
+                         shard_index + 1, shard_count);
+        else if (fig)
             fig->render(results, runner.threads());
         else
             renderGeneric(results);
