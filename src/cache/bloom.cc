@@ -31,12 +31,17 @@ CountingBloomFilter::CountingBloomFilter(std::uint32_t num_slots,
                    num_slots, num_hashes);
     if (counter_bits == 0 || counter_bits > 8)
         fuse_fatal("CBF counter width %u out of range [1,8]", counter_bits);
+    if ((num_slots & (num_slots - 1)) == 0)
+        slotMask_ = num_slots - 1;
 }
 
 std::uint32_t
 CountingBloomFilter::slotOf(std::uint64_t key, std::uint32_t hash_id) const
 {
-    return static_cast<std::uint32_t>(mix(key, hash_id + 1) % numSlots_);
+    const std::uint64_t h = mix(key, hash_id + 1);
+    if (slotMask_)
+        return static_cast<std::uint32_t>(h & slotMask_);
+    return static_cast<std::uint32_t>(h % numSlots_);
 }
 
 void

@@ -56,6 +56,9 @@ class CountingBloomFilter
     std::uint32_t slotOf(std::uint64_t key, std::uint32_t hash_id) const;
 
     std::uint32_t numSlots_;
+    /** numSlots_ - 1 when numSlots_ is a power of two (the paper's CBF
+     *  geometries all are): slotOf then masks instead of dividing. */
+    std::uint32_t slotMask_ = 0;
     std::uint32_t numHashes_;
     std::uint8_t counterMax_;
     std::vector<std::uint8_t> counters_;

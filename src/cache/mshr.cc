@@ -20,13 +20,13 @@ void
 Mshr::pushReady(Cycle ready_at, Addr line_addr)
 {
     ready_.push_back({ready_at, line_addr});
-    std::push_heap(ready_.begin(), ready_.end(), laterReady);
+    std::push_heap(ready_.begin(), ready_.end(), LaterReady{});
 }
 
 void
 Mshr::popReady()
 {
-    std::pop_heap(ready_.begin(), ready_.end(), laterReady);
+    std::pop_heap(ready_.begin(), ready_.end(), LaterReady{});
     ready_.pop_back();
 }
 

@@ -118,11 +118,16 @@ class Mshr
         Addr lineAddr = 0;
     };
 
-    /** Min-heap order: the earliest readyAt surfaces at the front. */
-    static bool laterReady(const ReadyRec &a, const ReadyRec &b)
+    /** Min-heap order: the earliest readyAt surfaces at the front. A
+     *  functor (not a function pointer) so the heap sifts inline the
+     *  comparison instead of making an indirect call per level. */
+    struct LaterReady
     {
-        return a.readyAt > b.readyAt;
-    }
+        bool operator()(const ReadyRec &a, const ReadyRec &b) const
+        {
+            return a.readyAt > b.readyAt;
+        }
+    };
 
     void retireReadySlow(Cycle now);
     void pushReady(Cycle ready_at, Addr line_addr);

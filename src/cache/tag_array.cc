@@ -1,29 +1,12 @@
 #include "cache/tag_array.hh"
 
+#include <algorithm>
+
+#include "common/bitops.hh"
 #include "common/log.hh"
 
 namespace fuse
 {
-
-namespace
-{
-
-std::uint32_t
-countTrailingZeros(std::uint64_t word)
-{
-#if defined(__GNUC__) || defined(__clang__)
-    return static_cast<std::uint32_t>(__builtin_ctzll(word));
-#else
-    std::uint32_t n = 0;
-    while (!(word & 1)) {
-        word >>= 1;
-        ++n;
-    }
-    return n;
-#endif
-}
-
-} // namespace
 
 TagArray::TagArray(std::uint32_t num_sets, std::uint32_t num_ways,
                    ReplPolicy policy)
@@ -31,7 +14,8 @@ TagArray::TagArray(std::uint32_t num_sets, std::uint32_t num_ways,
       numWays_(num_ways),
       lines_(std::size_t(num_sets) * num_ways),
       repl_(ReplacementPolicy::create(policy, num_sets, num_ways)),
-      wordsPerSet_((num_ways + 63) / 64)
+      wordsPerSet_((num_ways + 63) / 64),
+      tagMap_(std::size_t(num_sets) * num_ways, kEmptyTag)
 {
     if (num_sets == 0 || num_ways == 0)
         fuse_fatal("tag array needs nonzero geometry (%u sets, %u ways)",
@@ -46,14 +30,15 @@ TagArray::TagArray(std::uint32_t num_sets, std::uint32_t num_ways,
 }
 
 std::uint32_t
-TagArray::wayOf(Addr line_addr, const CacheLine *ways) const
+TagArray::wayOf(Addr line_addr, std::uint32_t set) const
 {
     if (index_) {
         const std::uint32_t *w = index_->find(line_addr);
         return w ? *w : kWayNone;
     }
+    const Addr *tags = &tagMap_[std::size_t(set) * numWays_];
     for (std::uint32_t w = 0; w < numWays_; ++w) {
-        if (ways[w].valid && ways[w].tag == line_addr)
+        if (tags[w] == line_addr)
             return w;
     }
     return kWayNone;
@@ -92,10 +77,10 @@ CacheLine *
 TagArray::probe(Addr line_addr, Cycle now)
 {
     const std::uint32_t set = setIndex(line_addr);
-    CacheLine *ways = &lines_[std::size_t(set) * numWays_];
-    const std::uint32_t w = wayOf(line_addr, ways);
+    const std::uint32_t w = wayOf(line_addr, set);
     if (w == kWayNone)
         return nullptr;
+    CacheLine *ways = &lines_[std::size_t(set) * numWays_];
     ways[w].lastTouch = now;
     repl_->onHit(set, w, now);
     return &ways[w];
@@ -105,9 +90,10 @@ const CacheLine *
 TagArray::peek(Addr line_addr) const
 {
     const std::uint32_t set = setIndex(line_addr);
-    const CacheLine *ways = &lines_[std::size_t(set) * numWays_];
-    const std::uint32_t w = wayOf(line_addr, ways);
-    return w == kWayNone ? nullptr : &ways[w];
+    const std::uint32_t w = wayOf(line_addr, set);
+    if (w == kWayNone)
+        return nullptr;
+    return &lines_[std::size_t(set) * numWays_ + w];
 }
 
 std::optional<Eviction>
@@ -118,7 +104,7 @@ TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
 
     // Refill over an existing copy (shouldn't normally happen, but be
     // safe): recency updates, insertion age does not.
-    const std::uint32_t resident = wayOf(line_addr, ways);
+    const std::uint32_t resident = wayOf(line_addr, set);
     if (resident != kWayNone) {
         ways[resident].lastTouch = now;
         repl_->onHit(set, resident, now);
@@ -133,6 +119,7 @@ TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
         markOccupied(set, w);
         ways[w].resetForFill(line_addr, now);
         repl_->onFill(set, w, now);
+        tagMap_[std::size_t(set) * numWays_ + w] = line_addr;
         if (index_)
             *index_->insert(line_addr) = w;
         if (filled)
@@ -143,6 +130,7 @@ TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
     // Evict per policy: O(1) from the engine's per-set state.
     const std::uint32_t victim = repl_->victim(set);
     Eviction ev{ways[victim]};
+    tagMap_[std::size_t(set) * numWays_ + victim] = line_addr;
     if (index_) {
         index_->erase(ev.line.tag);
         *index_->insert(line_addr) = victim;
@@ -158,14 +146,15 @@ std::optional<CacheLine>
 TagArray::invalidate(Addr line_addr)
 {
     const std::uint32_t set = setIndex(line_addr);
-    CacheLine *ways = &lines_[std::size_t(set) * numWays_];
-    const std::uint32_t w = wayOf(line_addr, ways);
+    const std::uint32_t w = wayOf(line_addr, set);
     if (w == kWayNone)
         return std::nullopt;
+    CacheLine *ways = &lines_[std::size_t(set) * numWays_];
     CacheLine copy = ways[w];
     ways[w].valid = false;
     markFree(set, w);
     repl_->onEvict(set, w);
+    tagMap_[std::size_t(set) * numWays_ + w] = kEmptyTag;
     if (index_)
         index_->erase(line_addr);
     return copy;
@@ -199,6 +188,7 @@ TagArray::clear()
         }
         freeCount_[set] = numWays_;
     }
+    std::fill(tagMap_.begin(), tagMap_.end(), kEmptyTag);
     occupied_ = 0;
     repl_->reset();
     if (index_)

@@ -3,9 +3,10 @@
  * A set-associative tag array: the lookup/insert/evict core reused by the
  * SRAM L1D bank, the STT-MRAM bank, and the shared L2 cache.
  *
- * No operation scans the ways on the hot path any more: residency is
- * answered by a short direct scan (narrow arrays) or the flat-map index
- * (wide/FA arrays), free ways come from a per-set occupancy bitmap
+ * No operation walks CacheLine records on the hot path any more:
+ * residency is answered by a compact per-set tag map (8-byte tags, so a
+ * whole narrow set fits one cache line) or the flat-map index (wide/FA
+ * arrays), free ways come from a per-set occupancy bitmap
  * (lowest-index-first, like the historical invalid-way scan), and the
  * victim comes from the event-driven replacement engine in O(1).
  */
@@ -89,14 +90,18 @@ class TagArray
 
   private:
     static constexpr Addr kNoMask = ~Addr(0);
-    /** Ways above which lookups go through the residency index instead of
-     *  a linear way scan (the approximated fully-associative STT bank has
-     *  hundreds of ways; a 2-4 way SRAM bank scans faster directly). */
+    /** Ways above which lookups go through the residency index instead
+     *  of the per-set tag-map scan (the approximated fully-associative
+     *  STT bank has hundreds of ways; a narrow set's tag map is at most
+     *  a cache line and scans faster than a hash probe). */
     static constexpr std::uint32_t kIndexedWaysThreshold = 8;
+    /** tagMap_ slot value of an invalid way. Line addresses are physical
+     *  addresses divided down to line granularity and never reach 2^64-1. */
+    static constexpr Addr kEmptyTag = ~Addr(0);
 
     /** Way of @p line_addr in its set, or kWayNone. */
     static constexpr std::uint32_t kWayNone = ~std::uint32_t(0);
-    std::uint32_t wayOf(Addr line_addr, const CacheLine *ways) const;
+    std::uint32_t wayOf(Addr line_addr, std::uint32_t set) const;
 
     /** Lowest free way of @p set (pre-condition: freeCount_[set] > 0). */
     std::uint32_t lowestFreeWay(std::uint32_t set) const;
@@ -118,6 +123,14 @@ class TagArray
     std::vector<std::uint32_t> freeCount_;  ///< Free ways per set.
     std::uint32_t wordsPerSet_;
     std::uint32_t occupied_ = 0;            ///< Valid lines in total.
+
+    /** Per-set way map: tagMap_[set * numWays_ + w] mirrors way w's tag
+     *  (kEmptyTag when invalid), so narrow-geometry lookups compare
+     *  densely packed 8-byte tags instead of striding across CacheLine
+     *  records — the narrow-bank linear probes that used to show up in
+     *  the profile. Maintained for every geometry (stores are cheap);
+     *  wide arrays answer lookups from index_ instead. */
+    std::vector<Addr> tagMap_;
 
     /** line address -> way residency index; maintained by fill/invalidate/
      *  clear, only for wide arrays (see kIndexedWaysThreshold). */

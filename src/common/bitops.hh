@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Bit-scan helpers shared by the hot-path bitmap structures (tag-array
+ * free-way bitmap, warp-scheduler ready bitmap). One definition so a
+ * portability fix lands everywhere at once.
+ */
+
+#ifndef FUSE_COMMON_BITOPS_HH
+#define FUSE_COMMON_BITOPS_HH
+
+#include <cstdint>
+
+namespace fuse
+{
+
+/** Index of the lowest set bit. Pre-condition: @p word != 0. */
+inline std::uint32_t
+countTrailingZeros(std::uint64_t word)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<std::uint32_t>(__builtin_ctzll(word));
+#else
+    std::uint32_t n = 0;
+    while (!(word & 1)) {
+        word >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+} // namespace fuse
+
+#endif // FUSE_COMMON_BITOPS_HH

@@ -96,14 +96,16 @@ class JsonParser
 
     /** Parse the top-level document into FlatRuns. */
     std::vector<FlatRun>
-    parseDocument()
+    parseDocument(std::string *experiment)
     {
         std::vector<FlatRun> runs;
         expect('{');
         for (;;) {
             const std::string key = parseString();
             expect(':');
-            if (key == "runs") {
+            if (key == "experiment" && experiment) {
+                *experiment = parseString();
+            } else if (key == "runs") {
                 expect('[');
                 skipWs();
                 if (peek() == ']') {
@@ -261,42 +263,69 @@ metricFields()
 {
     static const std::vector<MetricField> fields = {
         {"cycles",
-         [](const Metrics &m) { return static_cast<double>(m.cycles); }},
+         [](const Metrics &m) { return static_cast<double>(m.cycles); },
+         [](Metrics &m, double v) { m.cycles = static_cast<Cycle>(v); }},
         {"instructions",
          [](const Metrics &m) {
              return static_cast<double>(m.instructions);
+         },
+         [](Metrics &m, double v) {
+             m.instructions = static_cast<std::uint64_t>(v);
          }},
-        {"ipc", [](const Metrics &m) { return m.ipc; }},
-        {"l1d_miss_rate", [](const Metrics &m) { return m.l1dMissRate; }},
-        {"apki", [](const Metrics &m) { return m.apki; }},
+        {"ipc", [](const Metrics &m) { return m.ipc; },
+         [](Metrics &m, double v) { m.ipc = v; }},
+        {"l1d_miss_rate", [](const Metrics &m) { return m.l1dMissRate; },
+         [](Metrics &m, double v) { m.l1dMissRate = v; }},
+        {"apki", [](const Metrics &m) { return m.apki; },
+         [](Metrics &m, double v) { m.apki = v; }},
         {"offchip_requests",
          [](const Metrics &m) {
              return static_cast<double>(m.offchipRequests);
+         },
+         [](Metrics &m, double v) {
+             m.offchipRequests = static_cast<std::uint64_t>(v);
          }},
-        {"bypass_ratio", [](const Metrics &m) { return m.bypassRatio; }},
-        {"stall_stt", [](const Metrics &m) { return m.sttStallCycles; }},
+        {"bypass_ratio", [](const Metrics &m) { return m.bypassRatio; },
+         [](Metrics &m, double v) { m.bypassRatio = v; }},
+        {"stall_stt", [](const Metrics &m) { return m.sttStallCycles; },
+         [](Metrics &m, double v) { m.sttStallCycles = v; }},
         {"stall_tag_search",
-         [](const Metrics &m) { return m.tagSearchStallCycles; }},
+         [](const Metrics &m) { return m.tagSearchStallCycles; },
+         [](Metrics &m, double v) { m.tagSearchStallCycles = v; }},
         {"l1d_stall_cycles",
-         [](const Metrics &m) { return m.l1dStallCycles; }},
-        {"pred_true", [](const Metrics &m) { return m.predTrue; }},
-        {"pred_false", [](const Metrics &m) { return m.predFalse; }},
-        {"pred_neutral", [](const Metrics &m) { return m.predNeutral; }},
+         [](const Metrics &m) { return m.l1dStallCycles; },
+         [](Metrics &m, double v) { m.l1dStallCycles = v; }},
+        {"pred_true", [](const Metrics &m) { return m.predTrue; },
+         [](Metrics &m, double v) { m.predTrue = v; }},
+        {"pred_false", [](const Metrics &m) { return m.predFalse; },
+         [](Metrics &m, double v) { m.predFalse = v; }},
+        {"pred_neutral", [](const Metrics &m) { return m.predNeutral; },
+         [](Metrics &m, double v) { m.predNeutral = v; }},
         {"mem_wait_fraction",
-         [](const Metrics &m) { return m.memWaitFraction; }},
-        {"network_share", [](const Metrics &m) { return m.networkShare; }},
-        {"dram_share", [](const Metrics &m) { return m.dramShare; }},
+         [](const Metrics &m) { return m.memWaitFraction; },
+         [](Metrics &m, double v) { m.memWaitFraction = v; }},
+        {"network_share", [](const Metrics &m) { return m.networkShare; },
+         [](Metrics &m, double v) { m.networkShare = v; }},
+        {"dram_share", [](const Metrics &m) { return m.dramShare; },
+         [](Metrics &m, double v) { m.dramShare = v; }},
         {"energy_l1d_dynamic",
-         [](const Metrics &m) { return m.energy.l1dDynamic; }},
+         [](const Metrics &m) { return m.energy.l1dDynamic; },
+         [](Metrics &m, double v) { m.energy.l1dDynamic = v; }},
         {"energy_l1d_leakage",
-         [](const Metrics &m) { return m.energy.l1dLeakage; }},
-        {"energy_l2", [](const Metrics &m) { return m.energy.l2; }},
-        {"energy_dram", [](const Metrics &m) { return m.energy.dram; }},
-        {"energy_noc", [](const Metrics &m) { return m.energy.noc; }},
+         [](const Metrics &m) { return m.energy.l1dLeakage; },
+         [](Metrics &m, double v) { m.energy.l1dLeakage = v; }},
+        {"energy_l2", [](const Metrics &m) { return m.energy.l2; },
+         [](Metrics &m, double v) { m.energy.l2 = v; }},
+        {"energy_dram", [](const Metrics &m) { return m.energy.dram; },
+         [](Metrics &m, double v) { m.energy.dram = v; }},
+        {"energy_noc", [](const Metrics &m) { return m.energy.noc; },
+         [](Metrics &m, double v) { m.energy.noc = v; }},
         {"energy_compute",
-         [](const Metrics &m) { return m.energy.compute; }},
+         [](const Metrics &m) { return m.energy.compute; },
+         [](Metrics &m, double v) { m.energy.compute = v; }},
         {"energy_sm_leakage",
-         [](const Metrics &m) { return m.energy.smLeakage; }},
+         [](const Metrics &m) { return m.energy.smLeakage; },
+         [](Metrics &m, double v) { m.energy.smLeakage = v; }},
     };
     return fields;
 }
@@ -308,6 +337,29 @@ metricValue(const Metrics &metrics, const std::string &name)
         if (name == f.name)
             return f.get(metrics);
     fuse_fatal("unknown metric '%s'", name.c_str());
+}
+
+Metrics
+metricsFromFlat(const FlatRun &run)
+{
+    Metrics m;
+    m.benchmark = run.benchmark;
+    if (!l1dKindFromString(run.kind, m.l1dKind))
+        fuse_fatal("export row has unknown L1D kind '%s'",
+                   run.kind.c_str());
+    for (const auto &[name, value] : run.values) {
+        bool known = false;
+        for (const auto &f : metricFields()) {
+            if (name == f.name) {
+                f.set(m, value);
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            fuse_fatal("export row has unknown metric '%s'", name.c_str());
+    }
+    return m;
 }
 
 void
@@ -383,13 +435,13 @@ readCsv(std::istream &is)
 }
 
 std::vector<FlatRun>
-readJson(std::istream &is)
+readJson(std::istream &is, std::string *experiment)
 {
     std::stringstream buffer;
     buffer << is.rdbuf();
     const std::string text = buffer.str();
     JsonParser parser(text);
-    return parser.parseDocument();
+    return parser.parseDocument(experiment);
 }
 
 } // namespace fuse

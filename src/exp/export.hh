@@ -24,6 +24,9 @@ struct MetricField
 {
     const char *name;
     double (*get)(const Metrics &);
+    /** Inverse of get: writes the field back into a Metrics record (the
+     *  merge CLI rebuilds full Metrics from shard exports with it). */
+    void (*set)(Metrics &, double);
 };
 
 /** Every exported metric, in column order. */
@@ -47,11 +50,22 @@ struct FlatRun
     std::map<std::string, double> values;
 };
 
+/**
+ * Rebuild a Metrics record from a parsed export row. Every field that
+ * writeCsv/writeJson emit is restored exactly (doubles round-trip through
+ * %.17g bit-for-bit), so tables rendered from merged shard exports match
+ * the unsharded run byte for byte. Unknown value names are fatal.
+ */
+Metrics metricsFromFlat(const FlatRun &run);
+
 /** Parse writeCsv output (fatal on malformed input). */
 std::vector<FlatRun> readCsv(std::istream &is);
 
-/** Parse writeJson output (fatal on malformed input). */
-std::vector<FlatRun> readJson(std::istream &is);
+/** Parse writeJson output (fatal on malformed input). When
+ *  @p experiment is non-null it receives the document's experiment
+ *  name. */
+std::vector<FlatRun> readJson(std::istream &is,
+                              std::string *experiment = nullptr);
 
 } // namespace fuse
 

@@ -96,10 +96,11 @@ HybridL1D::migrateToStt(const CacheLine &victim, SmId sm, Cycle now)
         // the demand port — the whole L1D blocks behind it (the paper's
         // motivation for the swap buffer + tag queue).
         Cycle done = 0;
+        CacheLine *filled = nullptr;
         auto stt_evicted = stt_.fill(victim.tag, AccessType::Read, now,
-                                     &done, nullptr,
+                                     &done, &filled,
                                      CacheBank::Port::Demand);
-        if (CacheLine *filled = stt_.peekMutable(victim.tag)) {
+        if (filled) {
             filled->dirty = victim.dirty;
             filled->writeCount = victim.writeCount;
             filled->readCount = victim.readCount;
@@ -175,8 +176,10 @@ HybridL1D::sttHit(const MemRequest &req, Cycle now)
         if (approx_)
             approx_->remove(line);
         Cycle done = 0;
-        auto victim = sram_.fill(line, AccessType::Write, now, &done);
-        if (CacheLine *filled = sram_.peekMutable(line)) {
+        CacheLine *filled = nullptr;
+        auto victim = sram_.fill(line, AccessType::Write, now, &done,
+                                 &filled);
+        if (filled) {
             if (moved) {
                 filled->readCount += moved->readCount;
                 filled->writeCount += moved->writeCount;
@@ -209,12 +212,11 @@ HybridL1D::fillSram(const MemRequest &req, Cycle now)
 {
     const Addr line = req.line();
     Cycle done = 0;
-    auto victim = sram_.fill(line, req.type, now, &done);
-    if (CacheLine *filled = sram_.peekMutable(line)) {
-        if (config_.usePredictor) {
-            filled->predictedLevel = predictor_.classify(req.pc);
-            filled->hasPrediction = true;
-        }
+    CacheLine *filled = nullptr;
+    auto victim = sram_.fill(line, req.type, now, &done, &filled);
+    if (filled && config_.usePredictor) {
+        filled->predictedLevel = predictor_.classify(req.pc);
+        filled->hasPrediction = true;
     }
     if (!victim)
         return true;
@@ -255,12 +257,11 @@ HybridL1D::fillStt(const MemRequest &req, Cycle now)
         tagQueue_.push(entry);
     }
     Cycle done = 0;
-    auto victim = stt_.fill(line, req.type, now, &done);
-    if (CacheLine *filled = stt_.peekMutable(line)) {
-        if (config_.usePredictor) {
-            filled->predictedLevel = predictor_.classify(req.pc);
-            filled->hasPrediction = true;
-        }
+    CacheLine *filled = nullptr;
+    auto victim = stt_.fill(line, req.type, now, &done, &filled);
+    if (filled && config_.usePredictor) {
+        filled->predictedLevel = predictor_.classify(req.pc);
+        filled->hasPrediction = true;
     }
     if (approx_)
         approx_->insert(line);
@@ -396,10 +397,10 @@ HybridL1D::access(const MemRequest &req, Cycle now)
     }
 
     // STT-MRAM side: serialized (approximate) tag search.
-    const bool stt_present = stt_.peek(line) != nullptr;
-    std::uint32_t search = sttSearchCycles(line, stt_present);
+    CacheLine *stt_line = stt_.peekMutable(line);
+    std::uint32_t search = sttSearchCycles(line, stt_line != nullptr);
 
-    if (stt_present) {
+    if (stt_line) {
         if (config_.nonBlocking && stt_.busy(now)) {
             // The tag queue keeps the pipeline moving: enqueue the read
             // and promise data once the bank frees (+ search + read).
@@ -422,9 +423,7 @@ HybridL1D::access(const MemRequest &req, Cycle now)
             tagQueue_.push(entry);
             Cycle ready = stt_.busyUntil() + search
                           + stt_.config().readLatency;
-            CacheLine *hit_line = stt_.peekMutable(line);
-            if (hit_line)
-                ++hit_line->readCount;
+            ++stt_line->readCount;
             countHit(req);
             ++(*statSttQueuedReads_);
             return {L1DResult::Kind::Hit, ready};
@@ -463,8 +462,10 @@ HybridL1D::tick(Cycle now)
         if (!parked)
             break;  // Flushed or already superseded.
         Cycle done = 0;
-        auto stt_evicted = stt_.fill(line, AccessType::Read, now, &done);
-        if (CacheLine *filled = stt_.peekMutable(line)) {
+        CacheLine *filled = nullptr;
+        auto stt_evicted = stt_.fill(line, AccessType::Read, now, &done,
+                                     &filled);
+        if (filled) {
             filled->dirty = parked->dirty;
             filled->writeCount = parked->writeCount;
             filled->readCount = parked->readCount;

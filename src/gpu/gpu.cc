@@ -35,58 +35,95 @@ Gpu::Gpu(const GpuConfig &config, L1DKind l1d_kind, const L1DParams &l1d,
 Cycle
 Gpu::run()
 {
+    // Next-event clock. Instead of lock-step ticking every SM every
+    // cycle, each SM carries the next cycle it must observe: the next
+    // cycle outright while it is executing or its L1D has deferred work
+    // (tag-queue drains run per cycle), its wake-up bound while every
+    // warp sleeps, and never once it is done. The clock jumps straight
+    // to the earliest such event; the cycles an SM was skipped over are
+    // exactly the cycles its tick would have taken the all-warps-asleep
+    // path (one idle + one mem-wait increment, no other state change),
+    // so they are credited in bulk through skipIdle() just before its
+    // next real tick. Memory-bound phases spend most of their cycles
+    // asleep, which makes this the difference between simulating stalls
+    // and merely counting them — and unlike the old all-SMs-asleep
+    // fast-forward, one busy SM no longer forces per-cycle ticks on the
+    // fourteen sleeping ones.
     constexpr Cycle kNever = ~Cycle(0);
     cycles_ = 0;
-    while (cycles_ < config_.maxCycles) {
-        bool all_done = true;
-        for (auto &sm : sms_) {
-            sm->tick(cycles_);
-            all_done &= sm->done();
-        }
-        ++cycles_;
-        if (all_done)
-            break;
+    const std::size_t n = sms_.size();
+    if (n == 0)
+        return 0;
+    // next_tick[i]: first cycle SM i must be ticked at. accounted[i]:
+    // cycles below this are already reflected in SM i's stats (ticked,
+    // or credited through skipIdle).
+    std::vector<Cycle> next_tick(n, 0);
+    std::vector<Cycle> accounted(n, 0);
+    auto next_tick_of = [&](const Sm &sm, Cycle now) -> Cycle {
+        if (!sm.l1d().tickIdle())
+            return now + 1;   // Deferred L1D work runs cycle by cycle.
+        if (sm.done())
+            return kNever;
+        return std::max(now + 1, sm.sleepUntil());
+    };
 
-        // Fast-forward: when every live SM sleeps past this cycle, each
-        // intervening tick would only take the all-warps-asleep path
-        // (one idle + one mem-wait increment, no other state change) —
-        // jump straight to the earliest wake-up and account the idle
-        // cycles in bulk. Memory-bound phases spend most of their cycles
-        // here, so this is the difference between simulating stalls and
-        // merely counting them.
-        Cycle wake = kNever;
-        bool asleep = true;
-        for (auto &sm : sms_) {
-            if (sm->done())
+    std::size_t done_count = 0;
+    for (const auto &sm : sms_)
+        done_count += sm->done();
+
+    Cycle now = 0;
+    while (now < config_.maxCycles) {
+        // Tick the SMs due at `now` in index order, preserving the
+        // shared memory hierarchy's arbitration order under lock-step
+        // ticking.
+        bool dense = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (next_tick[i] > now)
                 continue;
-            const Cycle until = sm->sleepUntil();
-            if (until <= cycles_) {
-                asleep = false;
-                break;
-            }
-            wake = std::min(wake, until);
+            Sm &sm = *sms_[i];
+            const bool was_done = sm.done();
+            // The skipped cycles are exactly the ones whose tick would
+            // have taken the all-warps-asleep path (one idle + one
+            // mem-wait increment, no other state change): credit them in
+            // bulk.
+            if (now > accounted[i] && !was_done)
+                sm.skipIdle(now - accounted[i]);
+            sm.tick(now);
+            accounted[i] = now + 1;
+            const Cycle next = next_tick_of(sm, now);
+            next_tick[i] = next;
+            dense |= next == now + 1;
+            if (!was_done && sm.done())
+                ++done_count;
         }
-        if (!asleep || wake == kNever)
+        cycles_ = now + 1;
+        if (done_count == n)
+            break;
+        // Dense fast path: an SM that just executed is almost always due
+        // again next cycle, and no bound can be below now + 1 — skip the
+        // min reduction outright. The reduction runs only when the GPU
+        // actually goes quiet, where its cost is amortised over the
+        // whole skipped idle window.
+        if (dense) {
+            ++now;
             continue;
-        // Deferred L1D work (tag-queue drains) must still run per cycle.
-        bool l1ds_idle = true;
-        for (auto &sm : sms_) {
-            if (!sm->l1d().tickIdle()) {
-                l1ds_idle = false;
-                break;
-            }
         }
-        if (!l1ds_idle)
-            continue;
-        const Cycle target = std::min(wake, config_.maxCycles);
-        const Cycle skipped = target - cycles_;
-        if (skipped > 0) {
-            for (auto &sm : sms_) {
-                if (!sm->done())
-                    sm->skipIdle(skipped);
-            }
-            cycles_ = target;
+        Cycle next_now = next_tick[0];
+        for (std::size_t i = 1; i < n; ++i)
+            next_now = std::min(next_now, next_tick[i]);
+        if (next_now == kNever)
+            break;
+        now = next_now;
+    }
+
+    if (now >= config_.maxCycles) {
+        // The next event lies past the safety cap: account the idle
+        // window up to the cap and stop there.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!sms_[i]->done() && config_.maxCycles > accounted[i])
+                sms_[i]->skipIdle(config_.maxCycles - accounted[i]);
         }
+        cycles_ = config_.maxCycles;
     }
     if (cycles_ >= config_.maxCycles)
         fuse_warn("simulation hit the %llu-cycle safety cap",

@@ -1,74 +1,39 @@
 #include "gpu/scheduler.hh"
 
-#include <algorithm>
-
 namespace fuse
 {
 
 WarpScheduler::WarpScheduler(SchedPolicy policy, std::uint32_t num_warps)
-    : policy_(policy), numWarps_(num_warps)
+    : policy_(policy), numWarps_(num_warps),
+      readyBits_((num_warps + 63) / 64), wakeAt_(num_warps, 0)
 {
+    // All warps start issue-eligible at cycle 0.
+    for (std::uint32_t w = 0; w < num_warps; ++w)
+        setReady(w);
+    while ((1u << warpBits_) < num_warps)
+        ++warpBits_;
+    heap_.reserve(num_warps);
 }
 
-std::uint32_t
-WarpScheduler::pick(const std::vector<bool> &ready)
+Cycle
+WarpScheduler::minPendingWake()
 {
-    switch (policy_) {
-      case SchedPolicy::GreedyThenOldest:
-        // Keep issuing the same warp while it stays ready, else fall
-        // through to the oldest (lowest-id) ready warp.
-        if (lastIssued_ < numWarps_ && ready[lastIssued_])
-            return lastIssued_;
-        for (std::uint32_t w = 0; w < numWarps_; ++w) {
-            if (ready[w])
-                return w;
-        }
-        return kNone;
-      case SchedPolicy::RoundRobin:
-      default:
-        for (std::uint32_t i = 1; i <= numWarps_; ++i) {
-            std::uint32_t w = (lastIssued_ + i) % numWarps_;
-            if (ready[w])
-                return w;
-        }
-        return kNone;
+    // Only reached when the SM is about to go to sleep — out of line so
+    // the inlined pick stays small.
+    for (;;) {
+        if (heap_.empty())
+            break;
+        const Wake top = unpack(heap_.front());
+        if (wakeAt_[top.warp] == top.at)
+            break;
+        std::pop_heap(heap_.begin(), heap_.end(),
+                      std::greater<std::uint64_t>());
+        heap_.pop_back();
     }
-}
-
-std::uint32_t
-WarpScheduler::pickReady(const std::vector<Cycle> &ready_at, Cycle now,
-                         Cycle *min_ready)
-{
-    Cycle min_r = ~Cycle(0);
-    switch (policy_) {
-      case SchedPolicy::GreedyThenOldest:
-        if (lastIssued_ < numWarps_ && ready_at[lastIssued_] <= now)
-            return lastIssued_;
-        for (std::uint32_t w = 0; w < numWarps_; ++w) {
-            if (ready_at[w] <= now)
-                return w;
-        }
-        for (std::uint32_t w = 0; w < numWarps_; ++w)
-            min_r = std::min(min_r, ready_at[w]);
-        *min_ready = min_r;
-        return kNone;
-      case SchedPolicy::RoundRobin:
-      default:
-        for (std::uint32_t i = 1; i <= numWarps_; ++i) {
-            std::uint32_t w = (lastIssued_ + i) % numWarps_;
-            if (ready_at[w] <= now)
-                return w;
-            min_r = std::min(min_r, ready_at[w]);
-        }
-        *min_ready = min_r;
-        return kNone;
-    }
-}
-
-void
-WarpScheduler::issued(std::uint32_t warp)
-{
-    lastIssued_ = warp;
+    Cycle min_r = heap_.empty() ? kNever : unpack(heap_.front()).at;
+    if (stagedValid_ && wakeAt_[staged_.warp] == staged_.at)
+        min_r = std::min(min_r, staged_.at);
+    return min_r;
 }
 
 } // namespace fuse

@@ -12,8 +12,7 @@ Sm::Sm(SmId id, const SmConfig &config, std::unique_ptr<L1DCache> l1d,
       stats_("sm" + std::to_string(id)),
       coalescer_(&stats_),
       scheduler_(config.scheduler, config.warpsPerSm),
-      warps_(config.warpsPerSm),
-      readyAt_(config.warpsPerSm, 0)
+      warps_(config.warpsPerSm)
 {
     statIdle_ = &stats_.scalar("idle_cycles");
     statMemWait_ = &stats_.scalar("mem_wait_cycles");
@@ -46,7 +45,7 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
         ++instructionsIssued_;
         ++(*statCompute_);
         warp.hasPending = false;
-        readyAt_[w] = now + 1;
+        scheduler_.onWake(w, now + 1);
         scheduler_.issued(w);
         return;
     }
@@ -69,7 +68,7 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
         // clears; the wait counts as L1D stall cycles.
         const Cycle retry = std::max(now + 1, result.readyAt);
         (*statL1dStall_) += static_cast<double>(retry - now);
-        readyAt_[w] = retry;
+        scheduler_.onWake(w, retry);
         warp.stalledTransaction = true;
         scheduler_.issued(w);
         return;
@@ -84,7 +83,7 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
 
     if (warp.nextTransaction < instr.transactions.size()) {
         // More transactions to issue next cycle.
-        readyAt_[w] = now + 1;
+        scheduler_.onWake(w, now + 1);
         scheduler_.issued(w);
         return;
     }
@@ -96,13 +95,13 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
     ++(*statMemInstr_);
     warp.hasPending = false;
     if (instr.type == AccessType::Read) {
-        readyAt_[w] = std::max(now + 1, warp.maxFillReady);
+        scheduler_.onWake(w, std::max(now + 1, warp.maxFillReady));
         if (warp.maxFillReady > now + 1) {
             (*statLoadBlock_) +=
                 static_cast<double>(warp.maxFillReady - (now + 1));
         }
     } else {
-        readyAt_[w] = now + 1;
+        scheduler_.onWake(w, now + 1);
     }
     scheduler_.issued(w);
 }
@@ -128,7 +127,7 @@ Sm::tick(Cycle now)
     }
 
     Cycle min_ready = ~Cycle(0);
-    std::uint32_t w = scheduler_.pickReady(readyAt_, now, &min_ready);
+    std::uint32_t w = scheduler_.pickReady(now, &min_ready);
     if (w == WarpScheduler::kNone) {
         sleepUntil_ = min_ready;
         ++(*statIdle_);

@@ -46,8 +46,9 @@ class Sm
     /** All warps retired their share of the instruction budget. */
     bool done() const { return instructionsIssued_ >= config_.instructionBudget; }
 
-    /** No warp becomes ready before this cycle (0 = unknown/active). The
-     *  GPU loop fast-forwards across windows where every SM sleeps. */
+    /** No warp becomes ready before this cycle (values <= now mean the
+     *  SM is active). The GPU's next-event clock skips an SM's cycles up
+     *  to this bound, crediting them through skipIdle(). */
     Cycle sleepUntil() const { return sleepUntil_; }
 
     /**
@@ -97,12 +98,11 @@ class Sm
      *  out of this group (member construction order matters here). */
     StatGroup stats_;
     Coalescer coalescer_;
+    /** Owns warp readiness: issueWarp reports every blocked-until change
+     *  as a wake event and tick() asks for the pick in O(1), replacing
+     *  the per-cycle scan over a readyAt array. */
     WarpScheduler scheduler_;
     std::vector<WarpContext> warps_;
-    /** Per-warp blocked-until times, kept in a compact parallel array:
-     *  the per-cycle ready scan touches only these 8 bytes per warp
-     *  instead of striding across the full WarpContext records. */
-    std::vector<Cycle> readyAt_;
     std::uint64_t instructionsIssued_ = 0;
     /** No warp becomes ready before this cycle (idle fast path). */
     Cycle sleepUntil_ = 0;

@@ -15,12 +15,15 @@ L2Cache::L2Cache(const L2Config &config)
     if (config.numBanks == 0)
         fuse_fatal("L2 needs at least one bank");
     const std::uint32_t bank_size = config.totalSizeBytes / config.numBanks;
+    // Reserve before the loop: emplace into reserved storage never
+    // reallocates, so bank construction is a single allocation for the
+    // vector plus the banks' own arrays.
     banks_.reserve(config.numBanks);
     for (std::uint32_t b = 0; b < config.numBanks; ++b) {
-        banks_.push_back(std::make_unique<SetAssocCache>(
-            CacheGeometry::fromSize(bank_size, config.numWays,
-                                    ReplPolicy::LRU),
-            "l2.bank" + std::to_string(b)));
+        banks_.emplace_back(CacheGeometry::fromSize(bank_size,
+                                                    config.numWays,
+                                                    ReplPolicy::LRU),
+                            "l2.bank" + std::to_string(b));
     }
 }
 
@@ -45,7 +48,7 @@ L2Cache::access(Addr line_addr, AccessType type, Cycle now)
     const Addr bank_local = line_addr / config_.numBanks;
     L2Result result;
     CacheAccessResult access =
-        banks_[bank]->accessAndFill(bank_local, type, start);
+        banks_[bank].accessAndFill(bank_local, type, start);
     result.hit = access.hit;
     result.doneAt = start + config_.accessLatency;
     result.needsDram = !access.hit;
@@ -63,8 +66,8 @@ L2Cache::missRate() const
     double hits = 0;
     double misses = 0;
     for (const auto &bank : banks_) {
-        hits += static_cast<double>(bank->hits());
-        misses += static_cast<double>(bank->misses());
+        hits += static_cast<double>(bank.hits());
+        misses += static_cast<double>(bank.misses());
     }
     double total = hits + misses;
     return total > 0 ? misses / total : 0.0;
@@ -74,7 +77,7 @@ void
 L2Cache::finalizeStats()
 {
     for (const auto &bank : banks_)
-        stats_.merge(bank->stats());
+        stats_.merge(bank.stats());
 }
 
 } // namespace fuse

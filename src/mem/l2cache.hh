@@ -10,7 +10,6 @@
 #define FUSE_MEM_L2CACHE_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "cache/set_assoc_cache.hh"
@@ -69,7 +68,10 @@ class L2Cache
 
   private:
     L2Config config_;
-    std::vector<std::unique_ptr<SetAssocCache>> banks_;
+    /** Banks held by value with capacity reserved before construction:
+     *  the banks never move afterwards (SetAssocCache caches StatGroup
+     *  handles), and construction performs no vector reallocation. */
+    std::vector<SetAssocCache> banks_;
     std::vector<Cycle> bankBusyUntil_;
     StatGroup stats_;
 };

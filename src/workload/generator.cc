@@ -40,6 +40,8 @@ KernelGenerator::KernelGenerator(const BenchmarkSpec &spec, SmId sm,
     }
 
     memProb_ = spec.memProbability();
+    if (memProb_ < 1.0)
+        logOneMinusMemProb_ = std::log(1.0 - memProb_);
     for (WarpId w = 0; w < warps_per_sm; ++w) {
         auto &state = warps_[w];
         state.rng = Rng(seed * 0x100000001b3ull
@@ -64,15 +66,14 @@ KernelGenerator::computeGap(WarpState &state)
     // Geometric gap with mean 1/p - 1 compute instructions between memory
     // instructions, so APKI is matched in expectation without lockstep
     // artifacts across warps.
-    const double p = memProb_;
-    if (p >= 1.0)
+    if (memProb_ >= 1.0)
         return 0;
     // Inverse-CDF sampling of a geometric distribution.
     double u = state.rng.uniform();
     if (u <= 0.0)
         u = 1e-12;
     auto gap = static_cast<std::uint64_t>(
-        std::log(u) / std::log(1.0 - p));
+        std::log(u) / logOneMinusMemProb_);
     return gap;
 }
 

@@ -78,6 +78,10 @@ class KernelGenerator
     double totalWeight_ = 0.0;
     /** spec_->memProbability(), cached — computeGap runs per instruction. */
     double memProb_ = 0.0;
+    /** log(1 - memProb_), hoisted out of computeGap's inverse-CDF draw
+     *  (the quotient is still computed per draw, so the sampled gaps are
+     *  bit-identical to evaluating both logarithms inline). */
+    double logOneMinusMemProb_ = 0.0;
 };
 
 } // namespace fuse

@@ -18,6 +18,70 @@ toString(PatternKind kind)
 }
 
 void
+PatternCursor::initDerived(const StreamSpec &spec, WarpId warp,
+                           std::uint32_t total_warps)
+{
+    const std::uint64_t footprint =
+        spec.footprintLines ? spec.footprintLines : 1;
+
+    switch (spec.kind) {
+      case PatternKind::Stream: {
+        std::uint64_t slice = footprint / total_warps;
+        if (slice == 0)
+            slice = 1;
+        slice_ = slice;
+        sliceBase_ = slice * warp;
+        strideMod_ = spec.strideLines % slice;
+        phase_ = (cursor_ * spec.strideLines) % slice;
+        break;
+      }
+      case PatternKind::SharedReuse:
+        // cursor_ was just seeded to 2 * rng.below(footprint), so the
+        // walk's phase starts below the footprint with no reduction.
+        slice_ = footprint;
+        sliceBase_ = 0;
+        phase_ = cursor_ / 2;
+        break;
+      case PatternKind::PrivateAccum: {
+        std::uint64_t slice = footprint / total_warps;
+        if (slice == 0)
+            slice = 1;
+        slice_ = slice;
+        sliceBase_ = slice * warp;
+        phase_ = (cursor_ / 2) % slice;
+        break;
+      }
+      case PatternKind::HotWorkingSet: {
+        std::uint64_t slice = footprint / total_warps;
+        const std::uint64_t need =
+            std::uint64_t(spec.clusterLines) * spec.strideLines * 4;
+        if (slice < need)
+            slice = need;
+        slice_ = slice;
+        sliceBase_ = slice * warp;
+        strideMod_ = spec.strideLines % slice;
+        phase_ = (cursor_ * spec.strideLines) % slice;
+        break;
+      }
+      case PatternKind::Stencil: {
+        std::uint64_t slice = footprint / total_warps;
+        if (slice < 4)
+            slice = 4;
+        slice_ = slice;
+        sliceBase_ = slice * warp;
+        // phase_ tracks (centre + slice - 1) % slice, step3_ the
+        // neighbour rotation.
+        phase_ = (cursor_ / 3 + slice - 1) % slice;
+        step3_ = static_cast<std::uint32_t>(cursor_ % 3);
+        break;
+      }
+      case PatternKind::RandomIrregular:
+        break;   // Pure RNG: nothing to pre-reduce.
+    }
+    derivedReady_ = true;
+}
+
+void
 PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
                         std::uint32_t total_warps, Rng &rng,
                         std::vector<Addr> &out)
@@ -29,12 +93,12 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
       case PatternKind::Stream: {
         // Private slice walk: warp w owns footprint/total_warps lines and
         // walks them with the configured stride, wrapping at the slice.
-        std::uint64_t slice = footprint / total_warps;
-        if (slice == 0)
-            slice = 1;
-        const std::uint64_t slice_base = slice * warp;
-        std::uint64_t line =
-            slice_base + (cursor_ * spec.strideLines) % slice;
+        if (!derivedReady_)
+            initDerived(spec, warp, total_warps);
+        const std::uint64_t line = sliceBase_ + phase_;
+        phase_ += strideMod_;
+        if (phase_ >= slice_)
+            phase_ -= slice_;
         cursor_++;
         out.push_back(base + line * kLineSize);
         break;
@@ -48,12 +112,19 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
             cursor_ = 2 * rng.below(footprint);
             initialized_ = true;
         }
+        if (!derivedReady_)
+            initDerived(spec, warp, total_warps);
         // Each warp touches a shared line twice in a row (temporal
         // locality within one element's processing): the second touch is
         // what the request sampler observes as reuse, training the
         // predictor towards WORM; the first touch of each sweep is the
         // capacity-sensitive access.
-        std::uint64_t line = (cursor_ / 2) % footprint;
+        const std::uint64_t line = phase_;
+        if (cursor_ & 1) {
+            // Second touch served: the pair advances to the next line.
+            if (++phase_ == slice_)
+                phase_ = 0;
+        }
         cursor_++;
         out.push_back(base + line * kLineSize);
         break;
@@ -62,11 +133,13 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
         // Read-modify-write over a tiny per-warp region: the same line is
         // loaded then stored (the caller inspects pendingWrite()). Walks
         // the private region slowly to touch several accumulator lines.
-        std::uint64_t slice = footprint / total_warps;
-        if (slice == 0)
-            slice = 1;
-        const std::uint64_t slice_base = slice * warp;
-        std::uint64_t line = slice_base + (cursor_ / 2) % slice;
+        if (!derivedReady_)
+            initDerived(spec, warp, total_warps);
+        const std::uint64_t line = sliceBase_ + phase_;
+        if (cursor_ & 1) {
+            if (++phase_ == slice_)
+                phase_ = 0;
+        }
         cursor_++;
         out.push_back(base + line * kLineSize);
         break;
@@ -81,14 +154,15 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
         // lines pile onto a handful of cache sets — the conflict-miss
         // storm that a set-associative L1D suffers and the approximated
         // fully-associative STT-MRAM bank eliminates.
-        std::uint64_t slice = footprint / total_warps;
-        const std::uint64_t need =
-            std::uint64_t(spec.clusterLines) * spec.strideLines * 4;
-        if (slice < need)
-            slice = need;
-        const std::uint64_t slice_base = slice * warp;
+        if (!derivedReady_)
+            initDerived(spec, warp, total_warps);
         auto fresh = [&]() {
-            return slice_base + (cursor_++ * spec.strideLines) % slice;
+            const std::uint64_t line = sliceBase_ + phase_;
+            phase_ += strideMod_;
+            if (phase_ >= slice_)
+                phase_ -= slice_;
+            cursor_++;
+            return line;
         };
         if (activeLines_.empty()) {
             activeLines_.reserve(spec.clusterLines);
@@ -127,14 +201,17 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
         // Neighbourhood walk: the centre advances every iteration and the
         // access touches {centre-1, centre, centre+1} in rotation, giving
         // each line ~3 short-distance reuses.
-        std::uint64_t slice = footprint / total_warps;
-        if (slice < 4)
-            slice = 4;
-        const std::uint64_t slice_base = slice * warp;
-        const std::uint64_t centre = cursor_ / 3;
-        const std::uint64_t neighbour = cursor_ % 3;  // 0,1,2 => -1,0,+1
-        std::uint64_t line =
-            slice_base + (centre + neighbour + slice - 1) % slice;
+        if (!derivedReady_)
+            initDerived(spec, warp, total_warps);
+        std::uint64_t line = phase_ + step3_;
+        if (line >= slice_)
+            line -= slice_;
+        line += sliceBase_;
+        if (++step3_ == 3) {
+            step3_ = 0;
+            if (++phase_ == slice_)
+                phase_ = 0;
+        }
         cursor_++;
         out.push_back(base + line * kLineSize);
         break;

@@ -102,9 +102,26 @@ class PatternCursor
                   std::vector<Addr> &out);
 
   private:
+    /** Pre-reduce the per-call modular state. The spec/warp geometry of a
+     *  cursor never changes (the generator owns one cursor per stream per
+     *  warp), so the slice bounds, bases, and stride residues are
+     *  computed once and every subsequent address comes from an
+     *  increment-and-conditionally-subtract — the integer divisions that
+     *  made address generation a fixture of the profile are gone from
+     *  the per-call path. Values are bit-exact with the original modular
+     *  arithmetic. */
+    void initDerived(const StreamSpec &spec, WarpId warp,
+                     std::uint32_t total_warps);
+
     std::uint64_t cursor_ = 0;
     bool pendingWrite_ = false;  ///< PrivateAccum alternates load/store.
     bool initialized_ = false;   ///< SharedReuse random start applied.
+    bool derivedReady_ = false;  ///< initDerived has run.
+    std::uint64_t slice_ = 0;    ///< Pattern-specific modulus.
+    std::uint64_t sliceBase_ = 0;    ///< First line of the warp's slice.
+    std::uint64_t strideMod_ = 0;    ///< strideLines % slice_.
+    std::uint64_t phase_ = 0;    ///< Current residue of the cursor walk.
+    std::uint32_t step3_ = 0;    ///< Stencil: cursor_ % 3.
     std::vector<std::uint64_t> activeLines_;  ///< HotWorkingSet cluster.
     std::uint64_t lastHotLine_ = ~std::uint64_t(0);  ///< Re-touch target.
 

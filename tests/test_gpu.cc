@@ -45,71 +45,76 @@ TEST(Coalescer, StatsCountMergedLanes)
 TEST(Scheduler, RoundRobinRotates)
 {
     WarpScheduler sched(SchedPolicy::RoundRobin, 4);
-    std::vector<bool> ready = {true, true, true, true};
-    std::uint32_t w0 = sched.pick(ready);
+    Cycle min_ready = 0;
+    std::uint32_t w0 = sched.pickReady(0, &min_ready);
     sched.issued(w0);
-    std::uint32_t w1 = sched.pick(ready);
+    std::uint32_t w1 = sched.pickReady(0, &min_ready);
     EXPECT_NE(w0, w1);
 }
 
-TEST(Scheduler, SkipsNotReadyWarps)
+TEST(Scheduler, SkipsSleepingWarps)
 {
     WarpScheduler sched(SchedPolicy::RoundRobin, 4);
-    std::vector<bool> ready = {false, false, true, false};
-    EXPECT_EQ(sched.pick(ready), 2u);
+    const Cycle now = 10;
+    sched.onWake(0, now + 5);
+    sched.onWake(1, now + 2);
+    sched.onWake(3, now + 9);
+    // Warp 2 never slept: it is the only one eligible at `now`.
+    Cycle min_ready = 0;
+    EXPECT_EQ(sched.pickReady(now, &min_ready), 2u);
 }
 
-TEST(Scheduler, NoneWhenNothingReady)
+TEST(Scheduler, NoneWhenNothingReadyAndMinReadyIsExact)
 {
     WarpScheduler sched(SchedPolicy::RoundRobin, 4);
-    std::vector<bool> ready(4, false);
-    EXPECT_EQ(sched.pick(ready), WarpScheduler::kNone);
+    const Cycle now = 10;
+    sched.onWake(0, now + 5);
+    sched.onWake(1, now + 2);
+    sched.onWake(2, now + 7);
+    sched.onWake(3, now + 9);
+    Cycle min_ready = 0;
+    EXPECT_EQ(sched.pickReady(now, &min_ready), WarpScheduler::kNone);
+    EXPECT_EQ(min_ready, now + 2);
+    // At the bound, exactly the earliest waker becomes eligible.
+    EXPECT_EQ(sched.pickReady(now + 2, &min_ready), 1u);
+}
+
+TEST(Scheduler, ReWakeSupersedesEarlierWakeTime)
+{
+    // The last wake event wins, even when it moves the warp earlier;
+    // the superseded heap record must not resurrect the old time.
+    WarpScheduler sched(SchedPolicy::RoundRobin, 1);
+    sched.onWake(0, 50);
+    sched.onWake(0, 20);
+    Cycle min_ready = 0;
+    EXPECT_EQ(sched.pickReady(10, &min_ready), WarpScheduler::kNone);
+    EXPECT_EQ(min_ready, 20u);
+    EXPECT_EQ(sched.pickReady(20, &min_ready), 0u);
+}
+
+TEST(Scheduler, SleepingWarpNeverPicked)
+{
+    WarpScheduler sched(SchedPolicy::RoundRobin, 2);
+    sched.onSleep(0);
+    Cycle min_ready = 0;
+    EXPECT_EQ(sched.pickReady(0, &min_ready), 1u);
+    sched.onSleep(1);
+    EXPECT_EQ(sched.pickReady(0, &min_ready), WarpScheduler::kNone);
+    // Nothing is pending: the sleep bound must say "never".
+    EXPECT_EQ(min_ready, WarpScheduler::kNever);
+    sched.onWake(0, 3);
+    EXPECT_EQ(sched.pickReady(3, &min_ready), 0u);
 }
 
 TEST(Scheduler, GreedySticksToIssuingWarp)
 {
     WarpScheduler sched(SchedPolicy::GreedyThenOldest, 4);
-    std::vector<bool> ready = {true, true, true, true};
-    std::uint32_t w = sched.pick(ready);
+    Cycle min_ready = 0;
+    std::uint32_t w = sched.pickReady(0, &min_ready);
     sched.issued(w);
-    EXPECT_EQ(sched.pick(ready), w);
-    ready[w] = false;
-    EXPECT_NE(sched.pick(ready), w);
-}
-
-TEST(Scheduler, PickReadyMatchesPickForEveryPolicy)
-{
-    // pickReady (the one-pass hot-path API) promises policy behaviour
-    // identical to pick(); enforce it across an exhaustive sweep of
-    // 4-warp readiness patterns and issue histories.
-    for (SchedPolicy policy :
-         {SchedPolicy::RoundRobin, SchedPolicy::GreedyThenOldest}) {
-        for (std::uint32_t last = 0; last < 4; ++last) {
-            for (std::uint32_t pattern = 0; pattern < 16; ++pattern) {
-                WarpScheduler a(policy, 4);
-                WarpScheduler b(policy, 4);
-                a.issued(last);
-                b.issued(last);
-                std::vector<bool> ready(4);
-                std::vector<Cycle> ready_at(4);
-                const Cycle now = 100;
-                for (std::uint32_t w = 0; w < 4; ++w) {
-                    ready[w] = (pattern >> w) & 1;
-                    ready_at[w] = ready[w] ? now : now + 1 + w;
-                }
-                Cycle min_ready = 0;
-                EXPECT_EQ(b.pickReady(ready_at, now, &min_ready),
-                          a.pick(ready))
-                    << "policy=" << int(policy) << " last=" << last
-                    << " pattern=" << pattern;
-                if (pattern == 0) {
-                    // Nothing ready: min_ready must be the earliest
-                    // wake-up (warp 0's now + 1).
-                    EXPECT_EQ(min_ready, now + 1);
-                }
-            }
-        }
-    }
+    EXPECT_EQ(sched.pickReady(0, &min_ready), w);
+    sched.onSleep(w);
+    EXPECT_NE(sched.pickReady(0, &min_ready), w);
 }
 
 GpuConfig

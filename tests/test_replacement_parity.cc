@@ -38,7 +38,7 @@ struct LegacyPolicy
     virtual ~LegacyPolicy() = default;
     virtual std::uint32_t victim(const std::vector<CacheLine> &ways,
                                  std::uint32_t set) = 0;
-    virtual void touch(std::uint32_t set, std::uint32_t way) {}
+    virtual void touch(std::uint32_t, std::uint32_t) {}
 };
 
 struct LegacyLru : LegacyPolicy

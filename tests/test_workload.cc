@@ -227,5 +227,63 @@ TEST(Patterns, KindNamesAreStable)
     EXPECT_STREQ(toString(PatternKind::Stencil), "stencil");
 }
 
+namespace
+{
+
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+TEST(Generator, TracesAreByteIdenticalToPreOptimizationGoldens)
+{
+    // The trace-generation trim (hoisted log(1 - p), incremental modular
+    // phases in the pattern cursors) must not move a single address: every
+    // figure's byte-identity rests on the traces. These fingerprints were
+    // captured from the pre-optimization generator (60000 instructions,
+    // SM 3 of 15, 48 warps, seed 1, warp = i % 48) over workloads covering
+    // all six pattern kinds; any change to instruction kinds, PCs, types,
+    // or transaction addresses moves the hash.
+    struct Golden
+    {
+        const char *benchmark;
+        std::uint64_t hash;
+    };
+    const Golden goldens[] = {
+        {"2DCONV", 0xD8ADF923CCCB6D17ull},
+        {"ATAX", 0xEE2F0D7CEFA19DE3ull},
+        {"GEMM", 0x7446384BDA948F89ull},
+        {"PVC", 0xCDF076F636AB47BCull},
+        {"II", 0x5718F9FF912913E4ull},
+        {"SM", 0x6FEFF2DA82FBCB70ull},
+        {"srad_v1", 0x6B0C32CBDEBA8662ull},
+        {"pathf", 0xD13C2B9A0360C61Cull},
+    };
+    for (const Golden &golden : goldens) {
+        const BenchmarkSpec &spec = benchmarkByName(golden.benchmark);
+        KernelGenerator gen(spec, /*sm=*/3, /*num_sms=*/15,
+                            /*warps_per_sm=*/48, /*seed=*/1);
+        std::uint64_t h = 0xCBF29CE484222325ull;
+        WarpInstruction instr;
+        for (int i = 0; i < 60000; ++i) {
+            gen.next(static_cast<WarpId>(i % 48), instr);
+            h = fnv1a(h, instr.isMem ? 1 : 0);
+            h = fnv1a(h, instr.type == AccessType::Write ? 1 : 0);
+            h = fnv1a(h, instr.pc);
+            h = fnv1a(h, instr.transactions.size());
+            for (Addr a : instr.transactions)
+                h = fnv1a(h, a);
+        }
+        EXPECT_EQ(h, golden.hash) << golden.benchmark;
+    }
+}
+
 } // namespace
 } // namespace fuse

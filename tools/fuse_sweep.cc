@@ -11,6 +11,7 @@
  *   fuse_sweep --figure fig13 [--threads N] [--json out.json]
  *   fuse_sweep --spec sweep.spec [--csv out.csv] [--quiet]
  *   fuse_sweep --spec - < sweep.spec
+ *   fuse_sweep --merge shard1.json shard2.json ... [--json merged.json]
  *
  * Spec files (see exp/experiment.hh for the full key set):
  *   name: my_sweep
@@ -21,12 +22,14 @@
  *   variant: half | l1d.sramAreaFraction=0.5
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
 #include "exp/export.hh"
@@ -53,6 +56,10 @@ usage()
         "                    campaign across machines, export each shard,\n"
         "                    merge offline (cells are seeded from the\n"
         "                    spec, so shard-and-merge == one big run)\n"
+        "  --merge F1 F2 ..  merge N shard JSON exports back into the\n"
+        "                    full grid and re-render the figure tables\n"
+        "                    (use --json/--csv to re-export; the merged\n"
+        "                    output is identical to an unsharded run)\n"
         "  --json FILE       export results as JSON ('-' = stdout)\n"
         "  --csv FILE        export results as CSV ('-' = stdout)\n"
         "  --quiet           skip the rendered tables (exports only)\n"
@@ -89,6 +96,135 @@ renderGeneric(const fuse::ResultSet &results)
     report.print();
 }
 
+/** One parsed shard export. */
+struct ShardFile
+{
+    std::string path;
+    std::string experiment;
+    std::vector<fuse::FlatRun> runs;
+};
+
+/**
+ * Rebuild the full result grid from N shard exports. The grid shape comes
+ * from the figure registry (the shards' experiment name) or from
+ * @p spec_grid when the shards came from a --spec sweep; either way it is
+ * restricted to the benchmarks/kinds/variants actually present across the
+ * shards, so exports from --benchmarks-restricted campaigns merge too.
+ * Every cell is placed through ResultSet::merge, which is fatal on
+ * overlapping shards, and the rebuilt Metrics round-trip the export
+ * format exactly — the merged tables and re-exports are byte-identical
+ * to an unsharded run.
+ */
+fuse::ResultSet
+mergeShards(const std::vector<std::string> &paths,
+            const fuse::ExperimentSpec *spec_grid)
+{
+    if (paths.empty())
+        fuse_fatal("--merge needs at least one shard export");
+
+    std::vector<ShardFile> shards;
+    for (const auto &path : paths) {
+        std::ifstream is(path);
+        if (!is)
+            fuse_fatal("cannot read shard export '%s'", path.c_str());
+        ShardFile shard;
+        shard.path = path;
+        shard.runs = fuse::readJson(is, &shard.experiment);
+        shards.push_back(std::move(shard));
+    }
+    const std::string &name = shards.front().experiment;
+    for (const auto &shard : shards) {
+        if (shard.experiment != name)
+            fuse_fatal("shard '%s' is from experiment '%s', expected '%s'",
+                       shard.path.c_str(), shard.experiment.c_str(),
+                       name.c_str());
+    }
+
+    fuse::ExperimentSpec spec;
+    if (const fuse::Figure *fig = fuse::findFigure(name)) {
+        spec = fig->makeSpec();
+    } else if (spec_grid) {
+        spec = *spec_grid;
+    } else {
+        fuse_fatal("experiment '%s' is not a figure; pass the original "
+                   "--spec file alongside --merge to define the grid",
+                   name.c_str());
+    }
+
+    // Restrict the spec grid to what the shards actually contain,
+    // preserving the spec's order (the union over all shards of a
+    // sharded campaign is exactly the grid the campaign swept).
+    const auto contains = [&shards](auto pred) {
+        for (const auto &shard : shards)
+            for (const auto &run : shard.runs)
+                if (pred(run))
+                    return true;
+        return false;
+    };
+    std::vector<std::string> benchmarks;
+    for (const auto &b : spec.benchmarks) {
+        if (contains([&](const fuse::FlatRun &r) { return r.benchmark == b; }))
+            benchmarks.push_back(b);
+    }
+    std::vector<fuse::L1DKind> kinds;
+    for (fuse::L1DKind k : spec.kinds) {
+        const char *kn = toString(k);
+        if (contains([&](const fuse::FlatRun &r) { return r.kind == kn; }))
+            kinds.push_back(k);
+    }
+    std::vector<std::string> labels;
+    for (const auto &label : spec.variantLabels()) {
+        if (contains([&](const fuse::FlatRun &r) {
+                return r.variantLabel == label;
+            }))
+            labels.push_back(label);
+    }
+    if (benchmarks.empty() || kinds.empty() || labels.empty())
+        fuse_fatal("shard exports share no cells with the '%s' grid",
+                   name.c_str());
+
+    fuse::ResultSet merged(name, benchmarks, kinds, labels);
+    for (const auto &shard : shards) {
+        fuse::ResultSet piece(name, benchmarks, kinds, labels);
+        for (const auto &run : shard.runs) {
+            const auto b = std::find(benchmarks.begin(), benchmarks.end(),
+                                     run.benchmark);
+            const auto v = std::find(labels.begin(), labels.end(),
+                                     run.variantLabel);
+            fuse::L1DKind kind;
+            if (!fuse::l1dKindFromString(run.kind, kind))
+                fuse_fatal("shard '%s' has unknown L1D kind '%s'",
+                           shard.path.c_str(), run.kind.c_str());
+            const auto k = std::find(kinds.begin(), kinds.end(), kind);
+            if (b == benchmarks.end() || k == kinds.end()
+                || v == labels.end())
+                fuse_fatal("shard '%s' row (%s, %s, '%s') is outside the "
+                           "'%s' grid", shard.path.c_str(),
+                           run.benchmark.c_str(), run.kind.c_str(),
+                           run.variantLabel.c_str(), name.c_str());
+            fuse::RunResult &cell = piece.at(piece.index(
+                static_cast<std::size_t>(b - benchmarks.begin()),
+                static_cast<std::size_t>(v - labels.begin()),
+                static_cast<std::size_t>(k - kinds.begin())));
+            cell.benchmark = run.benchmark;
+            cell.kind = kind;
+            cell.variant =
+                static_cast<std::size_t>(v - labels.begin());
+            cell.variantLabel = run.variantLabel;
+            cell.metrics = fuse::metricsFromFlat(run);
+            cell.valid = true;
+        }
+        merged.merge(piece);
+    }
+
+    std::size_t filled = 0;
+    for (const auto &run : merged.runs())
+        filled += run.valid;
+    std::fprintf(stderr, "%s: merged %zu shards into %zu/%zu cells\n",
+                 name.c_str(), shards.size(), filled, merged.size());
+    return merged;
+}
+
 void
 exportTo(const std::string &path, const fuse::ResultSet &results,
          void (*write)(std::ostream &, const fuse::ResultSet &))
@@ -119,6 +255,8 @@ main(int argc, char **argv)
     std::size_t shard_index = 0;
     std::size_t shard_count = 1;
     bool quiet = false;
+    bool merge = false;
+    std::vector<std::string> merge_paths;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -168,13 +306,53 @@ main(int argc, char **argv)
             csv_path = value();
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--merge") {
+            merge = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
+        } else if (merge && !arg.empty() && arg[0] != '-') {
+            merge_paths.push_back(arg);
         } else {
             usage();
             fuse_fatal("unknown option '%s'", arg.c_str());
         }
+    }
+
+    if (merge) {
+        // Merge mode simulates nothing: it stitches shard exports back
+        // into the full grid and renders/exports like an unsharded run.
+        if (!figure.empty() || shard_count > 1)
+            fuse_fatal("--merge takes shard files, not --figure/--shard "
+                       "(the figure comes from the shards themselves)");
+        const fuse::ExperimentSpec *grid = nullptr;
+        fuse::ExperimentSpec parsed_spec;
+        if (!spec_path.empty()) {
+            std::ifstream is(spec_path);
+            if (!is)
+                fuse_fatal("cannot read spec file '%s'",
+                           spec_path.c_str());
+            std::stringstream buffer;
+            buffer << is.rdbuf();
+            parsed_spec = fuse::ExperimentSpec::parse(buffer.str());
+            grid = &parsed_spec;
+        }
+        fuse::ResultSet results = mergeShards(merge_paths, grid);
+        if (!quiet) {
+            // Renderers that fan out extra work (the trace studies) honor
+            // the same --threads the sweep path would.
+            const unsigned render_threads =
+                threads ? threads : fuse::defaultThreadCount();
+            if (const fuse::Figure *fig = fuse::findFigure(results.name()))
+                fig->render(results, render_threads);
+            else
+                renderGeneric(results);
+        }
+        if (!json_path.empty())
+            exportTo(json_path, results, fuse::writeJson);
+        if (!csv_path.empty())
+            exportTo(csv_path, results, fuse::writeCsv);
+        return 0;
     }
 
     if (figure.empty() == spec_path.empty()) {
