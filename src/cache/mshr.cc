@@ -44,6 +44,13 @@ Mshr::access(Addr line_addr, Cycle ready_at, BankId destination)
             ++(*statFullStall_);
         return {MshrResult::Kind::Full, nullptr};
     }
+    return {MshrResult::Kind::NewMiss,
+            allocate(line_addr, ready_at, destination)};
+}
+
+MshrEntry *
+Mshr::allocate(Addr line_addr, Cycle ready_at, BankId destination)
+{
     MshrEntry *entry = entries_.insert(line_addr);
     entry->lineAddr = line_addr;
     entry->readyAt = ready_at;
@@ -53,7 +60,7 @@ Mshr::access(Addr line_addr, Cycle ready_at, BankId destination)
         minReadyAt_ = ready_at;
     if (statAllocated_)
         ++(*statAllocated_);
-    return {MshrResult::Kind::NewMiss, entry};
+    return entry;
 }
 
 void

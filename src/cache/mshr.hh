@@ -71,6 +71,15 @@ class Mshr
      */
     MshrResult access(Addr line_addr, Cycle ready_at, BankId destination);
 
+    /**
+     * Allocate a fresh entry for @p line_addr without re-probing the
+     * entry file. Pre-conditions the single-probe L1D miss path has
+     * already established (its in-flight check and Full stall both run
+     * before the off-chip request): find(line_addr) == nullptr and
+     * !full(). access() remains for callers without that context.
+     */
+    MshrEntry *allocate(Addr line_addr, Cycle ready_at, BankId destination);
+
     /** Look up an in-flight entry. */
     MshrEntry *find(Addr line_addr) { return entries_.find(line_addr); }
 

@@ -20,10 +20,10 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geometry,
 }
 
 bool
-SetAssocCache::access(Addr line_addr, AccessType type, Cycle now)
+SetAssocCache::accessAt(const TagArray::Probe &p, AccessType type, Cycle now)
 {
-    CacheLine *line = tags_.probe(line_addr, now);
-    if (line) {
+    if (p.hit()) {
+        CacheLine *line = tags_.hitLine(p, now);
         ++(*statHits_);
         if (type == AccessType::Write) {
             line->dirty = true;
@@ -41,11 +41,12 @@ SetAssocCache::access(Addr line_addr, AccessType type, Cycle now)
 }
 
 CacheAccessResult
-SetAssocCache::fill(Addr line_addr, AccessType type, Cycle now)
+SetAssocCache::fillAt(const TagArray::Probe &p, Addr line_addr,
+                      AccessType type, Cycle now)
 {
     CacheAccessResult result;
     CacheLine *filled = nullptr;
-    auto eviction = tags_.fill(line_addr, now, &filled);
+    auto eviction = tags_.fillAt(p, line_addr, now, &filled);
     ++(*statFills_);
     if (filled) {
         if (type == AccessType::Write) {
@@ -66,12 +67,13 @@ SetAssocCache::fill(Addr line_addr, AccessType type, Cycle now)
 CacheAccessResult
 SetAssocCache::accessAndFill(Addr line_addr, AccessType type, Cycle now)
 {
-    if (access(line_addr, type, now)) {
+    const TagArray::Probe p = tags_.lookup(line_addr);
+    if (accessAt(p, type, now)) {
         CacheAccessResult r;
         r.hit = true;
         return r;
     }
-    CacheAccessResult r = fill(line_addr, type, now);
+    CacheAccessResult r = fillAt(p, line_addr, type, now);
     r.hit = false;
     return r;
 }

@@ -65,12 +65,28 @@ class SetAssocCache
      * On miss, *does not* fill — call fill() when the data returns (or
      * immediately, for an atomic access+fill model).
      */
-    bool access(Addr line_addr, AccessType type, Cycle now);
+    bool access(Addr line_addr, AccessType type, Cycle now)
+    {
+        return accessAt(tags_.lookup(line_addr), type, now);
+    }
+
+    /** access() against an already-resolved residency probe. */
+    bool accessAt(const TagArray::Probe &p, AccessType type, Cycle now);
 
     /** Allocate @p line_addr; marks dirty if the triggering access wrote. */
-    CacheAccessResult fill(Addr line_addr, AccessType type, Cycle now);
+    CacheAccessResult fill(Addr line_addr, AccessType type, Cycle now)
+    {
+        return fillAt(tags_.lookup(line_addr), line_addr, type, now);
+    }
 
-    /** Combined access-or-fill convenience used by the L2 model. */
+    /** fill() against an already-resolved residency probe. */
+    CacheAccessResult fillAt(const TagArray::Probe &p, Addr line_addr,
+                             AccessType type, Cycle now);
+
+    /** Combined access-or-fill convenience used by the L2 model: one
+     *  residency lookup serves both halves (the access pipeline's
+     *  single-probe contract — the old access-then-fill pair re-ran the
+     *  tag search on every miss). */
     CacheAccessResult accessAndFill(Addr line_addr, AccessType type,
                                     Cycle now);
 

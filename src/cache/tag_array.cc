@@ -73,43 +73,47 @@ TagArray::markFree(std::uint32_t set, std::uint32_t way)
     --occupied_;
 }
 
+TagArray::Probe
+TagArray::lookup(Addr line_addr) const
+{
+    Probe p;
+    p.set = setIndex(line_addr);
+    p.way = wayOf(line_addr, p.set);
+    if (p.way != kWayNone)
+        p.slot = p.set * numWays_ + p.way;
+    return p;
+}
+
+CacheLine *
+TagArray::hitLine(const Probe &p, Cycle now)
+{
+    CacheLine &line = lines_[p.slot];
+    line.lastTouch = now;
+    repl_->onHit(p.set, p.way, now);
+    return &line;
+}
+
 CacheLine *
 TagArray::probe(Addr line_addr, Cycle now)
 {
-    const std::uint32_t set = setIndex(line_addr);
-    const std::uint32_t w = wayOf(line_addr, set);
-    if (w == kWayNone)
-        return nullptr;
-    CacheLine *ways = &lines_[std::size_t(set) * numWays_];
-    ways[w].lastTouch = now;
-    repl_->onHit(set, w, now);
-    return &ways[w];
-}
-
-const CacheLine *
-TagArray::peek(Addr line_addr) const
-{
-    const std::uint32_t set = setIndex(line_addr);
-    const std::uint32_t w = wayOf(line_addr, set);
-    if (w == kWayNone)
-        return nullptr;
-    return &lines_[std::size_t(set) * numWays_ + w];
+    const Probe p = lookup(line_addr);
+    return p.hit() ? hitLine(p, now) : nullptr;
 }
 
 std::optional<Eviction>
-TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
+TagArray::fillAt(const Probe &p, Addr line_addr, Cycle now,
+                 CacheLine **filled)
 {
-    const std::uint32_t set = setIndex(line_addr);
+    const std::uint32_t set = p.set;
     CacheLine *ways = &lines_[std::size_t(set) * numWays_];
 
     // Refill over an existing copy (shouldn't normally happen, but be
     // safe): recency updates, insertion age does not.
-    const std::uint32_t resident = wayOf(line_addr, set);
-    if (resident != kWayNone) {
-        ways[resident].lastTouch = now;
-        repl_->onHit(set, resident, now);
+    if (p.hit()) {
+        ways[p.way].lastTouch = now;
+        repl_->onHit(set, p.way, now);
         if (filled)
-            *filled = &ways[resident];
+            *filled = &ways[p.way];
         return std::nullopt;
     }
 
@@ -143,20 +147,18 @@ TagArray::fill(Addr line_addr, Cycle now, CacheLine **filled)
 }
 
 std::optional<CacheLine>
-TagArray::invalidate(Addr line_addr)
+TagArray::invalidateAt(const Probe &p)
 {
-    const std::uint32_t set = setIndex(line_addr);
-    const std::uint32_t w = wayOf(line_addr, set);
-    if (w == kWayNone)
+    if (!p.hit())
         return std::nullopt;
-    CacheLine *ways = &lines_[std::size_t(set) * numWays_];
-    CacheLine copy = ways[w];
-    ways[w].valid = false;
-    markFree(set, w);
-    repl_->onEvict(set, w);
-    tagMap_[std::size_t(set) * numWays_ + w] = kEmptyTag;
+    CacheLine &line = lines_[p.slot];
+    CacheLine copy = line;
+    line.valid = false;
+    markFree(p.set, p.way);
+    repl_->onEvict(p.set, p.way);
+    tagMap_[p.slot] = kEmptyTag;
     if (index_)
-        index_->erase(line_addr);
+        index_->erase(copy.tag);
     return copy;
 }
 

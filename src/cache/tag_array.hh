@@ -41,6 +41,29 @@ struct Eviction
 class TagArray
 {
   public:
+    /** Way value meaning "not resident" (in Probe and internally). */
+    static constexpr std::uint32_t kWayNone = ~std::uint32_t(0);
+
+    /**
+     * One resolved residency lookup: the set index, the way the line
+     * occupies (kWayNone on a miss), and — on a hit — the flat slot of
+     * the line/packed-tag records (set * numWays + way, precomputed so
+     * consumers index storage without re-multiplying).
+     *
+     * A Probe is a snapshot: it stays valid until the next mutation of
+     * the array (fill/invalidate/clear). The single-lookup access
+     * pipeline resolves a request's residency once with lookup() and
+     * threads the Probe by value through hit/miss/fill — the separate
+     * probe/peek/fill lookups this replaced each re-ran the tag search.
+     */
+    struct Probe
+    {
+        std::uint32_t set = 0;
+        std::uint32_t way = kWayNone;
+        std::uint32_t slot = 0;   ///< Valid only when hit().
+        bool hit() const { return way != kWayNone; }
+    };
+
     /**
      * @param num_sets  Number of sets (1 = fully associative).
      * @param num_ways  Associativity.
@@ -49,21 +72,62 @@ class TagArray
     TagArray(std::uint32_t num_sets, std::uint32_t num_ways,
              ReplPolicy policy);
 
-    /** Look up @p line_addr; touch on hit. Returns the line or nullptr. */
+    /** Resolve @p line_addr's residency in one tag search (no state
+     *  change): the only operation that consults the tag map / index. */
+    Probe lookup(Addr line_addr) const;
+
+    /** Commit a hit: touch the line and run replacement bookkeeping.
+     *  Pre-condition: @p p.hit() and @p p is current. */
+    CacheLine *hitLine(const Probe &p, Cycle now);
+
+    /** Line behind a resolved probe (nullptr on a miss probe). */
+    const CacheLine *lineAt(const Probe &p) const
+    {
+        return p.hit() ? &lines_[p.slot] : nullptr;
+    }
+    CacheLine *lineAt(const Probe &p)
+    {
+        return p.hit() ? &lines_[p.slot] : nullptr;
+    }
+
+    /**
+     * Insert @p line_addr using the already-resolved @p p (which must be
+     * lookup(line_addr) against the current array state), evicting if
+     * the set is full. A hit probe degenerates to a recency touch.
+     * @return metadata of the evicted valid line, if any.
+     */
+    std::optional<Eviction> fillAt(const Probe &p, Addr line_addr,
+                                   Cycle now, CacheLine **filled = nullptr);
+
+    /** Invalidate the line behind a resolved probe (no-op on a miss
+     *  probe); returns the removed line. */
+    std::optional<CacheLine> invalidateAt(const Probe &p);
+
+    /** Look up @p line_addr; touch on hit. Returns the line or nullptr.
+     *  (lookup + hitLine in one call, for callers without a Probe.) */
     CacheLine *probe(Addr line_addr, Cycle now);
 
     /** Look up without updating replacement state (for peeking). */
-    const CacheLine *peek(Addr line_addr) const;
+    const CacheLine *peek(Addr line_addr) const
+    {
+        return lineAt(lookup(line_addr));
+    }
 
     /**
      * Insert @p line_addr, evicting if the set is full.
      * @return metadata of the evicted valid line, if any.
      */
     std::optional<Eviction> fill(Addr line_addr, Cycle now,
-                                 CacheLine **filled = nullptr);
+                                 CacheLine **filled = nullptr)
+    {
+        return fillAt(lookup(line_addr), line_addr, now, filled);
+    }
 
     /** Invalidate @p line_addr if present; returns the removed line. */
-    std::optional<CacheLine> invalidate(Addr line_addr);
+    std::optional<CacheLine> invalidate(Addr line_addr)
+    {
+        return invalidateAt(lookup(line_addr));
+    }
 
     /** Number of valid lines currently resident. */
     std::uint32_t occupancy() const { return occupied_; }
@@ -90,6 +154,8 @@ class TagArray
 
   private:
     static constexpr Addr kNoMask = ~Addr(0);
+    /** Way of @p line_addr in its set, or kWayNone. */
+    std::uint32_t wayOf(Addr line_addr, std::uint32_t set) const;
     /** Ways above which lookups go through the residency index instead
      *  of the per-set tag-map scan (the approximated fully-associative
      *  STT bank has hundreds of ways; a narrow set's tag map is at most
@@ -98,10 +164,6 @@ class TagArray
     /** tagMap_ slot value of an invalid way. Line addresses are physical
      *  addresses divided down to line granularity and never reach 2^64-1. */
     static constexpr Addr kEmptyTag = ~Addr(0);
-
-    /** Way of @p line_addr in its set, or kWayNone. */
-    static constexpr std::uint32_t kWayNone = ~std::uint32_t(0);
-    std::uint32_t wayOf(Addr line_addr, std::uint32_t set) const;
 
     /** Lowest free way of @p set (pre-condition: freeCount_[set] > 0). */
     std::uint32_t lowestFreeWay(std::uint32_t set) const;

@@ -39,7 +39,7 @@ void
 StatGroup::merge(const StatGroup &other)
 {
     for (const auto &[name, s] : other.scalars_)
-        scalars_[name] += s.value();
+        scalars_[name].merge(s);
     for (const auto &[name, a] : other.averages_)
         averages_[name].merge(a);
 }

@@ -60,18 +60,16 @@ AssocApprox::partitionOf(Addr line_addr) const
 }
 
 void
-AssocApprox::insert(Addr line_addr)
+AssocApprox::insertAt(Addr line_addr, std::uint32_t partition)
 {
-    const std::uint32_t p = partitionOf(line_addr);
-    cbfs_[p].insert(line_addr);
-    residents_[p].push_back(line_addr);
+    cbfs_[partition].insert(line_addr);
+    residents_[partition].push_back(line_addr);
     ++(*statInserts_);
 }
 
 void
-AssocApprox::remove(Addr line_addr)
+AssocApprox::removeAt(Addr line_addr, std::uint32_t p)
 {
-    const std::uint32_t p = partitionOf(line_addr);
     auto &members = residents_[p];
     for (auto it = members.begin(); it != members.end(); ++it) {
         if (*it == line_addr) {
@@ -88,15 +86,16 @@ AssocApprox::remove(Addr line_addr)
 }
 
 TagSearchResult
-AssocApprox::search(Addr line_addr, bool actually_present)
+AssocApprox::finish(const CbfProbe &test, bool actually_present)
 {
     TagSearchResult result;
-    const std::uint32_t partition = partitionOf(line_addr);
+    result.partition = test.partition;
 
-    // Stage 1: NVM-CBF test. All CBF columns are sensed in parallel in the
-    // 2D MTJ island, so the test costs one STT-MRAM read (§IV-C measures
-    // 591ps — under one cache cycle; we charge 1 cycle).
-    const bool positive = cbfs_[partition].test(line_addr);
+    // Stage 1 happened in test(): the NVM-CBF sense. All CBF columns are
+    // sensed in parallel in the 2D MTJ island, so the test costs one
+    // STT-MRAM read (§IV-C measures 591ps — under one cache cycle; we
+    // charge 1 cycle).
+    const bool positive = test.positive;
     accuracy_.record(positive, actually_present);
     result.cycles = 1;
 

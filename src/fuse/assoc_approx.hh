@@ -42,6 +42,10 @@ struct TagSearchResult
     std::uint32_t cycles = 1;     ///< Serialized search cycles spent.
     std::uint32_t partitionsPolled = 0;
     bool falsePositive = false;   ///< Some CBF fired but tags mismatched.
+    /** Partition the searched line hashes to — handed back so a fill
+     *  of the same line in the same access reuses it instead of
+     *  re-running the partition hash (the single-probe pipeline). */
+    std::uint32_t partition = 0;
 };
 
 /**
@@ -63,16 +67,54 @@ class AssocApprox
     std::uint32_t partitionOf(Addr line_addr) const;
 
     /** Mirror a fill into the partition's CBF. */
-    void insert(Addr line_addr);
+    void insert(Addr line_addr) { insertAt(line_addr, partitionOf(line_addr)); }
+
+    /** insert() with the partition already resolved (from a search of
+     *  the same line earlier in the access). */
+    void insertAt(Addr line_addr, std::uint32_t partition);
 
     /** Mirror an eviction/invalidation. */
-    void remove(Addr line_addr);
+    void remove(Addr line_addr) { removeAt(line_addr, partitionOf(line_addr)); }
+
+    /** remove() with the partition already resolved. */
+    void removeAt(Addr line_addr, std::uint32_t partition);
+
+    /** Outcome of the stage-1 NVM-CBF membership test. */
+    struct CbfProbe
+    {
+        bool positive = false;
+        std::uint32_t partition = 0;
+    };
+
+    /**
+     * Stage 1 alone: the parallel CBF-column sense (§IV-C), no stats.
+     * A negative result proves absence — CBF counters saturate rather
+     * than overflow, so the filter never produces a false negative —
+     * which lets the owner skip the tag-array residency lookup entirely
+     * on definite misses (the single-probe pipeline's gate).
+     */
+    CbfProbe test(Addr line_addr) const
+    {
+        const std::uint32_t p = partitionOf(line_addr);
+        return {cbfs_[p].test(line_addr), p};
+    }
+
+    /**
+     * Stage 2: finish the serialized search given the stage-1 test and
+     * ground truth. Stats and accuracy bookkeeping are identical to a
+     * one-shot search(); on a negative test @p actually_present is
+     * necessarily false and the owner may pass false without looking.
+     */
+    TagSearchResult finish(const CbfProbe &test, bool actually_present);
 
     /**
      * Compute the serialized tag-search cost for @p line_addr.
      * @param actually_present ground truth from the owner's tag array.
      */
-    TagSearchResult search(Addr line_addr, bool actually_present);
+    TagSearchResult search(Addr line_addr, bool actually_present)
+    {
+        return finish(test(line_addr), actually_present);
+    }
 
     const AssocApproxConfig &config() const { return config_; }
     StatGroup &stats() { return stats_; }

@@ -34,11 +34,12 @@ CacheBank::occupyFill(Cycle now, std::uint32_t latency)
 }
 
 CacheLine *
-CacheBank::access(Addr line_addr, AccessType type, Cycle now, Cycle *done)
+CacheBank::accessAt(const TagArray::Probe &p, AccessType type, Cycle now,
+                    Cycle *done)
 {
-    CacheLine *line = tags_.probe(line_addr, now);
-    if (!line)
+    if (!p.hit())
         return nullptr;
+    CacheLine *line = tags_.hitLine(p, now);
 
     const bool is_write = (type == AccessType::Write);
     Cycle completed = occupy(
@@ -66,8 +67,8 @@ CacheBank::peekMutable(Addr line_addr)
 }
 
 std::optional<Eviction>
-CacheBank::fill(Addr line_addr, AccessType type, Cycle now, Cycle *done,
-                CacheLine **filled, Port port)
+CacheBank::fillAt(const TagArray::Probe &p, Addr line_addr, AccessType type,
+                  Cycle now, Cycle *done, CacheLine **filled, Port port)
 {
     // A fill is an array write regardless of the triggering access type.
     Cycle completed = port == Port::Fill
@@ -79,7 +80,7 @@ CacheBank::fill(Addr line_addr, AccessType type, Cycle now, Cycle *done,
     ++(*statFills_);
 
     CacheLine *slot = nullptr;
-    auto eviction = tags_.fill(line_addr, now, &slot);
+    auto eviction = tags_.fillAt(p, line_addr, now, &slot);
     if (slot) {
         if (type == AccessType::Write) {
             slot->dirty = true;

@@ -62,12 +62,31 @@ class CacheBank
     Cycle fillBusyUntil() const { return fillBusyUntil_; }
 
     /**
-     * Timed probe. Occupies the bank for the read (or write) latency on a
-     * hit. Returns the line (bookkeeping updated) or nullptr on miss.
+     * Resolve residency once (no state change, no occupancy). The
+     * returned probe threads through accessAt/fillAt/invalidateAt so one
+     * L1D transaction pays exactly one tag search per bank; it stays
+     * valid until the next fill/invalidate on this bank.
+     */
+    TagArray::Probe lookup(Addr line_addr) const
+    {
+        return tags_.lookup(line_addr);
+    }
+
+    /**
+     * Timed access against an already-resolved probe. Occupies the bank
+     * for the read (or write) latency on a hit. Returns the line
+     * (bookkeeping updated) or nullptr on a miss probe.
      * @param[out] done  completion time of the array access on a hit.
      */
+    CacheLine *accessAt(const TagArray::Probe &p, AccessType type,
+                        Cycle now, Cycle *done);
+
+    /** Timed probe: lookup + accessAt for callers without a Probe. */
     CacheLine *access(Addr line_addr, AccessType type, Cycle now,
-                      Cycle *done);
+                      Cycle *done)
+    {
+        return accessAt(tags_.lookup(line_addr), type, now, done);
+    }
 
     /** Untimed lookup (tag-only peek; no array occupancy). */
     const CacheLine *peek(Addr line_addr) const
@@ -76,15 +95,36 @@ class CacheBank
     }
     CacheLine *peekMutable(Addr line_addr);
 
+    /** Line behind a resolved probe, mutable (no occupancy, no LRU
+     *  disturbance — the probe-pipeline flavour of peekMutable). */
+    CacheLine *peekAt(const TagArray::Probe &p) { return tags_.lineAt(p); }
+
     /**
-     * Timed fill (a write to the array). Returns the evicted line if a
-     * valid block was displaced.
+     * Timed fill (a write to the array) against an already-resolved
+     * probe for @p line_addr. Returns the evicted line if a valid block
+     * was displaced.
      * @param port Fill uses the decoupled write-driver port (default);
      *             Demand models organisations whose fills block the array.
      */
+    std::optional<Eviction> fillAt(const TagArray::Probe &p, Addr line_addr,
+                                   AccessType type, Cycle now, Cycle *done,
+                                   CacheLine **filled = nullptr,
+                                   Port port = Port::Fill);
+
+    /** Timed fill: lookup + fillAt for callers without a Probe. */
     std::optional<Eviction> fill(Addr line_addr, AccessType type, Cycle now,
                                  Cycle *done, CacheLine **filled = nullptr,
-                                 Port port = Port::Fill);
+                                 Port port = Port::Fill)
+    {
+        return fillAt(tags_.lookup(line_addr), line_addr, type, now, done,
+                      filled, port);
+    }
+
+    /** Invalidate behind a resolved probe (tag-only operation). */
+    std::optional<CacheLine> invalidateAt(const TagArray::Probe &p)
+    {
+        return tags_.invalidateAt(p);
+    }
 
     /** Invalidate without array occupancy (tag-only operation). */
     std::optional<CacheLine> invalidate(Addr line_addr)

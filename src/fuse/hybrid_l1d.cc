@@ -51,21 +51,6 @@ HybridL1D::HybridL1D(const HybridL1DConfig &config,
     statSwapBufferHits_ = &stats_.scalar("swap_buffer_hits");
 }
 
-std::uint32_t
-HybridL1D::sttSearchCycles(Addr line, bool present)
-{
-    if (!approx_)
-        return 1;  // Set-associative: single-cycle indexed tag read.
-    TagSearchResult search = approx_->search(line, present);
-    if (search.cycles > 1) {
-        // Serialized polling beyond the CBF test cycle is the tag-search
-        // overhead Fig. 15 plots; the tag queue hides it from the SM
-        // pipeline, but the cycles still occupy the search circuit.
-        (*statStallTagSearch_) += search.cycles - 1;
-    }
-    return search.cycles;
-}
-
 void
 HybridL1D::evictToL2(const CacheLine &line, SmId sm, Cycle now)
 {
@@ -150,14 +135,17 @@ HybridL1D::flushTagQueue(Cycle now)
 }
 
 L1DResult
-HybridL1D::sttHit(const MemRequest &req, Cycle now)
+HybridL1D::sttHit(const MemRequest &req, Cycle now,
+                  const TagArray::Probe &stt_probe,
+                  const TagArray::Probe &sram_probe,
+                  std::uint32_t stt_partition)
 {
     const Addr line = req.line();
 
     if (!req.isWrite()) {
         // Read hit on STT-MRAM: serve at read latency once the bank frees.
         Cycle done = 0;
-        stt_.access(line, AccessType::Read, now, &done);
+        stt_.accessAt(stt_probe, AccessType::Read, now, &done);
         countHit(req);
         ++(*statSttReadHits_);
         return {L1DResult::Kind::Hit, done};
@@ -170,15 +158,17 @@ HybridL1D::sttHit(const MemRequest &req, Cycle now)
         // Dy-FUSE: migrate the block to SRAM right away, invalidate the
         // STT copy, and serve the write from SRAM (§III-A). The payload
         // write can't wait behind meta-only queue entries: flush.
+        // (The tag-queue flush touches neither bank's tag array, so the
+        // probes resolved at the top of access() are still current.)
         if (!tagQueue_.empty())
             flushTagQueue(now);
-        auto moved = stt_.invalidate(line);
+        auto moved = stt_.invalidateAt(stt_probe);
         if (approx_)
-            approx_->remove(line);
+            approx_->removeAt(line, stt_partition);
         Cycle done = 0;
         CacheLine *filled = nullptr;
-        auto victim = sram_.fill(line, AccessType::Write, now, &done,
-                                 &filled);
+        auto victim = sram_.fillAt(sram_probe, line, AccessType::Write,
+                                   now, &done, &filled);
         if (filled) {
             if (moved) {
                 filled->readCount += moved->readCount;
@@ -202,18 +192,20 @@ HybridL1D::sttHit(const MemRequest &req, Cycle now)
     if (config_.nonBlocking && !tagQueue_.empty())
         flushTagQueue(now);
     Cycle done = 0;
-    stt_.access(line, AccessType::Write, now, &done);
+    stt_.accessAt(stt_probe, AccessType::Write, now, &done);
     countHit(req);
     return {L1DResult::Kind::Hit, done};
 }
 
 bool
-HybridL1D::fillSram(const MemRequest &req, Cycle now)
+HybridL1D::fillSram(const MemRequest &req, Cycle now,
+                    const TagArray::Probe &sram_probe)
 {
     const Addr line = req.line();
     Cycle done = 0;
     CacheLine *filled = nullptr;
-    auto victim = sram_.fill(line, req.type, now, &done, &filled);
+    auto victim = sram_.fillAt(sram_probe, line, req.type, now, &done,
+                               &filled);
     if (filled && config_.usePredictor) {
         filled->predictedLevel = predictor_.classify(req.pc);
         filled->hasPrediction = true;
@@ -241,7 +233,9 @@ HybridL1D::fillSram(const MemRequest &req, Cycle now)
 }
 
 bool
-HybridL1D::fillStt(const MemRequest &req, Cycle now)
+HybridL1D::fillStt(const MemRequest &req, Cycle now,
+                   const TagArray::Probe &stt_probe,
+                   std::uint32_t stt_partition)
 {
     const Addr line = req.line();
     if (config_.nonBlocking) {
@@ -258,13 +252,14 @@ HybridL1D::fillStt(const MemRequest &req, Cycle now)
     }
     Cycle done = 0;
     CacheLine *filled = nullptr;
-    auto victim = stt_.fill(line, req.type, now, &done, &filled);
+    auto victim = stt_.fillAt(stt_probe, line, req.type, now, &done,
+                              &filled);
     if (filled && config_.usePredictor) {
         filled->predictedLevel = predictor_.classify(req.pc);
         filled->hasPrediction = true;
     }
     if (approx_)
-        approx_->insert(line);
+        approx_->insertAt(line, stt_partition);
     if (victim) {
         if (approx_)
             approx_->remove(victim->line.tag);
@@ -274,7 +269,10 @@ HybridL1D::fillStt(const MemRequest &req, Cycle now)
 }
 
 L1DResult
-HybridL1D::handleMiss(const MemRequest &req, Cycle now)
+HybridL1D::handleMiss(const MemRequest &req, Cycle now,
+                      const TagArray::Probe &sram_probe,
+                      const TagArray::Probe &stt_probe,
+                      std::uint32_t stt_partition)
 {
     const Addr line = req.line();
 
@@ -322,26 +320,31 @@ HybridL1D::handleMiss(const MemRequest &req, Cycle now)
         // The fill may evict an SRAM line whose migration needs a swap
         // buffer slot and a tag-queue entry; real hardware holds the fill
         // until the drain frees them.
-        (*statStallStt_) += static_cast<double>(
+        statStallStt_->add(
             std::max<Cycle>(stt_.fillBusyUntil(), now + 1) - now);
         return {L1DResult::Kind::Stall,
                 std::max(now + 1, stt_.fillBusyUntil())};
     }
     if (destination == BankId::SttMram && config_.nonBlocking
         && tagQueue_.full()) {
-        (*statStallStt_) +=
-            static_cast<double>(std::max<Cycle>(stt_.busyUntil(), now + 1)
-                                - now);
+        statStallStt_->add(std::max<Cycle>(stt_.busyUntil(), now + 1)
+                           - now);
         return {L1DResult::Kind::Stall,
                 std::max(now + 1, stt_.busyUntil())};
     }
 
     countMiss(req);
+    // The off-chip issue and MSHR allocation touch no bank tag array, so
+    // the probes resolved at the top of access() still describe the fill
+    // target. The in-flight check and the full() gate above already
+    // proved the line absent from the MSHR with space available —
+    // allocate() skips the entry-file re-probe access() would pay.
     OffchipResult off = hierarchy_->access(req, now);
-    mshr_.access(line, off.doneAt, destination);
+    mshr_.allocate(line, off.doneAt, destination);
 
-    bool filled = destination == BankId::Sram ? fillSram(req, now)
-                                              : fillStt(req, now);
+    bool filled = destination == BankId::Sram
+                      ? fillSram(req, now, sram_probe)
+                      : fillStt(req, now, stt_probe, stt_partition);
     if (!filled)
         fuse_panic("fill failed after structural checks passed");
     return {L1DResult::Kind::Miss, off.doneAt};
@@ -362,8 +365,7 @@ HybridL1D::access(const MemRequest &req, Cycle now)
     // flight (§V: "any write on STT-MRAM will result in a long L1D stall").
     if (!config_.nonBlocking && stt_.busy(now)) {
         // The whole L1D blocks until the in-flight MTJ write finishes.
-        (*statStallStt_) +=
-            static_cast<double>(stt_.busyUntil() - now);
+        statStallStt_->add(stt_.busyUntil() - now);
         return {L1DResult::Kind::Stall, stt_.busyUntil()};
     }
 
@@ -375,9 +377,12 @@ HybridL1D::access(const MemRequest &req, Cycle now)
     }
 
     // SRAM tag search runs in parallel with the STT side; an SRAM hit
-    // terminates the STT search (arbitration, Fig. 9).
+    // terminates the STT search (arbitration, Fig. 9). This lookup is
+    // the request's one and only SRAM residency resolution: the probe
+    // also serves the fill/migration handlers downstream.
+    const TagArray::Probe sram_probe = sram_.lookup(line);
     Cycle done = 0;
-    if (sram_.access(line, req.type, now, &done)) {
+    if (sram_.accessAt(sram_probe, req.type, now, &done)) {
         countHit(req);
         ++(*statSramHits_);
         return {L1DResult::Kind::Hit, done};
@@ -396,9 +401,40 @@ HybridL1D::access(const MemRequest &req, Cycle now)
         return {L1DResult::Kind::Hit, now + 1};
     }
 
-    // STT-MRAM side: serialized (approximate) tag search.
-    CacheLine *stt_line = stt_.peekMutable(line);
-    std::uint32_t search = sttSearchCycles(line, stt_line != nullptr);
+    // STT-MRAM side: at most one residency resolution. With the
+    // approximation logic the NVM-CBF test runs first, exactly as the
+    // hardware senses it: a negative test proves absence (CBF counters
+    // saturate rather than overflow, so the filter never produces a
+    // false negative), and the tag-array lookup is skipped outright on
+    // definite misses — only the set index survives into the miss
+    // probe for the fill path. Set-associative STT banks resolve
+    // residency directly. The search result carries the CBF partition
+    // so the fill path reuses it.
+    TagArray::Probe stt_probe;
+    CacheLine *stt_line = nullptr;
+    TagSearchResult search;
+    if (approx_) {
+        const AssocApprox::CbfProbe cbf = approx_->test(line);
+        if (cbf.positive) {
+            stt_probe = stt_.lookup(line);
+            stt_line = stt_.peekAt(stt_probe);
+        } else {
+            stt_probe.set = stt_.tags().setIndex(line);
+        }
+        search = approx_->finish(cbf, stt_line != nullptr);
+        if (search.cycles > 1) {
+            // Serialized polling beyond the CBF test cycle is the
+            // tag-search overhead Fig. 15 plots; the tag queue hides it
+            // from the SM pipeline, but the cycles still occupy the
+            // search circuit.
+            statStallTagSearch_->add(search.cycles - 1);
+        }
+    } else {
+        // Set-associative bank: direct resolution, trivial 1-cycle
+        // search (the default TagSearchResult).
+        stt_probe = stt_.lookup(line);
+        stt_line = stt_.peekAt(stt_probe);
+    }
 
     if (stt_line) {
         if (config_.nonBlocking && stt_.busy(now)) {
@@ -407,10 +443,11 @@ HybridL1D::access(const MemRequest &req, Cycle now)
             if (req.isWrite()) {
                 // Payload writes can't wait in the meta-only queue: flush
                 // and handle synchronously (the sttHit path).
-                return sttHit(req, now);
+                return sttHit(req, now, stt_probe, sram_probe,
+                              search.partition);
             }
             if (tagQueue_.full()) {
-                (*statStallStt_) += static_cast<double>(
+                statStallStt_->add(
                     std::max<Cycle>(stt_.busyUntil(), now + 1) - now);
                 return {L1DResult::Kind::Stall,
                         std::max(now + 1, stt_.busyUntil())};
@@ -421,19 +458,20 @@ HybridL1D::access(const MemRequest &req, Cycle now)
             entry.enqueuedAt = now;
             entry.warpId = req.warpId;
             tagQueue_.push(entry);
-            Cycle ready = stt_.busyUntil() + search
+            Cycle ready = stt_.busyUntil() + search.cycles
                           + stt_.config().readLatency;
             ++stt_line->readCount;
             countHit(req);
             ++(*statSttQueuedReads_);
             return {L1DResult::Kind::Hit, ready};
         }
-        L1DResult result = sttHit(req, now);
-        result.readyAt += search - 1;  // serialized search before the array.
+        L1DResult result = sttHit(req, now, stt_probe, sram_probe,
+                                  search.partition);
+        result.readyAt += search.cycles - 1;  // serialized search first.
         return result;
     }
 
-    return handleMiss(req, now);
+    return handleMiss(req, now, sram_probe, stt_probe, search.partition);
 }
 
 void

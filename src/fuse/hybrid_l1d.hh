@@ -83,20 +83,35 @@ class HybridL1D : public L1DCache
     const HybridL1DConfig &config() const { return config_; }
 
   private:
-    /** Serialized STT tag-search cost at @p now (1 cycle when set-assoc). */
-    std::uint32_t sttSearchCycles(Addr line, bool present);
+    /**
+     * The access pipeline resolves each bank's residency exactly once at
+     * the top of access() and threads the probes (plus the CBF search
+     * result) by value through the hit/miss/fill handlers below; every
+     * bank operation downstream is *At() against a resolved probe. A
+     * probe is a snapshot — each handler documents why no bank mutation
+     * intervenes between resolution and use.
+     */
 
     /** Handle a hit in the STT-MRAM bank per the decision tree. */
-    L1DResult sttHit(const MemRequest &req, Cycle now);
+    L1DResult sttHit(const MemRequest &req, Cycle now,
+                     const TagArray::Probe &stt_probe,
+                     const TagArray::Probe &sram_probe,
+                     std::uint32_t stt_partition);
 
     /** Allocate a missing line according to the placement policy. */
-    L1DResult handleMiss(const MemRequest &req, Cycle now);
+    L1DResult handleMiss(const MemRequest &req, Cycle now,
+                         const TagArray::Probe &sram_probe,
+                         const TagArray::Probe &stt_probe,
+                         std::uint32_t stt_partition);
 
     /** Fill @p req's line into the SRAM bank, migrating the victim. */
-    bool fillSram(const MemRequest &req, Cycle now);
+    bool fillSram(const MemRequest &req, Cycle now,
+                  const TagArray::Probe &sram_probe);
 
     /** Fill @p req's line into the STT-MRAM bank. */
-    bool fillStt(const MemRequest &req, Cycle now);
+    bool fillStt(const MemRequest &req, Cycle now,
+                 const TagArray::Probe &stt_probe,
+                 std::uint32_t stt_partition);
 
     /** Evict @p line out of the L1D (write-back to L2 if dirty). */
     void evictToL2(const CacheLine &line, SmId sm, Cycle now);

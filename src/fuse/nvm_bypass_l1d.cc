@@ -47,13 +47,16 @@ NvmBypassL1D::access(const MemRequest &req, Cycle now)
     // arrives while a write is in flight stalls the L1D (no tag queue in
     // this organisation).
     if (bank_.busy(now)) {
-        (*statStallSttBusy_) +=
-            static_cast<double>(bank_.busyUntil() - now);
+        statStallSttBusy_->add(bank_.busyUntil() - now);
         return {L1DResult::Kind::Stall, bank_.busyUntil()};
     }
 
+    // Single residency resolution: the probe serves the hit path and the
+    // miss-path fill (the bypass decision and off-chip issue in between
+    // do not touch the bank).
+    const TagArray::Probe probe = bank_.lookup(line);
     Cycle done = 0;
-    if (bank_.access(line, req.type, now, &done)) {
+    if (bank_.accessAt(probe, req.type, now, &done)) {
         countHit(req);
         return {L1DResult::Kind::Hit, done};
     }
@@ -79,12 +82,13 @@ NvmBypassL1D::access(const MemRequest &req, Cycle now)
     }
     countMiss(req);
     OffchipResult off = hierarchy_->access(req, now);
-    mshr_.access(line, off.doneAt, BankId::SttMram);
+    // In-flight check + full() gate above prove a fresh allocation.
+    mshr_.allocate(line, off.doneAt, BankId::SttMram);
 
     // The fill is an MTJ write: it occupies the bank for the write latency
     // (applied at access time; the in-flight window is guarded by MSHR).
     Cycle fill_done = 0;
-    auto eviction = bank_.fill(line, req.type, now, &fill_done);
+    auto eviction = bank_.fillAt(probe, line, req.type, now, &fill_done);
     if (eviction && eviction->line.dirty) {
         MemRequest wb;
         wb.addr = eviction->line.tag << kLineShift;

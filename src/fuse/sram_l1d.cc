@@ -55,8 +55,12 @@ SramL1D::access(const MemRequest &req, Cycle now)
                 std::max(now + 1, inflight->readyAt)};
     }
 
+    // The request's one residency resolution: the probe serves the hit
+    // path and, on a miss, the eager fill below (nothing between the two
+    // mutates the bank).
+    const TagArray::Probe probe = bank_.lookup(line);
     Cycle done = 0;
-    if (bank_.access(line, req.type, now, &done)) {
+    if (bank_.accessAt(probe, req.type, now, &done)) {
         countHit(req);
         return {L1DResult::Kind::Hit, done};
     }
@@ -72,12 +76,13 @@ SramL1D::access(const MemRequest &req, Cycle now)
     }
     countMiss(req);
     OffchipResult off = hierarchy_->access(req, now);
-    mshr_.access(line, off.doneAt, BankId::Sram);
+    // In-flight check + full() gate above prove a fresh allocation.
+    mshr_.allocate(line, off.doneAt, BankId::Sram);
 
     // Eager fill (tag-array state); data validity is guarded by the MSHR
     // in-flight check above.
     Cycle fill_done = 0;
-    auto eviction = bank_.fill(line, req.type, now, &fill_done);
+    auto eviction = bank_.fillAt(probe, line, req.type, now, &fill_done);
     if (eviction && eviction->line.dirty) {
         MemRequest wb;
         wb.addr = eviction->line.tag << kLineShift;

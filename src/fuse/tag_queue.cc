@@ -48,7 +48,7 @@ TagQueue::flush()
     queue_.clear();
     if (statFlushes_) {
         ++(*statFlushes_);
-        (*statFlushedEntries_) += dropped;
+        statFlushedEntries_->add(dropped);
     }
     return dropped;
 }

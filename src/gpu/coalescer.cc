@@ -29,8 +29,8 @@ Coalescer::coalesceInPlace(std::vector<Addr> &addresses)
 
     if (statInstructions_) {
         ++(*statInstructions_);
-        (*statTransactions_) += static_cast<double>(out);
-        (*statLanesMerged_) += static_cast<double>(lanes - out);
+        statTransactions_->add(out);
+        statLanesMerged_->add(lanes - out);
     }
 }
 

@@ -128,6 +128,11 @@ Gpu::run()
     if (cycles_ >= config_.maxCycles)
         fuse_warn("simulation hit the %llu-cycle safety cap",
                   static_cast<unsigned long long>(config_.maxCycles));
+    // Warps holding a partially issued instruction still carry batched
+    // transaction counts; drain them so stats are exact for every reader
+    // downstream of run().
+    for (const auto &sm : sms_)
+        sm->flushIssueStats();
     return cycles_;
 }
 

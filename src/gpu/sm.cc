@@ -67,7 +67,7 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
         // The warp parks at this transaction until the structural hazard
         // clears; the wait counts as L1D stall cycles.
         const Cycle retry = std::max(now + 1, result.readyAt);
-        (*statL1dStall_) += static_cast<double>(retry - now);
+        statL1dStall_->add(retry - now);
         scheduler_.onWake(w, retry);
         warp.stalledTransaction = true;
         scheduler_.issued(w);
@@ -76,9 +76,10 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
     warp.stalledTransaction = false;
 
     warp.maxFillReady = std::max(warp.maxFillReady, result.readyAt);
-    ++(*statTransactions_);
+    // Batched into the warp context; one Scalar add at instruction exit.
+    ++warp.uncountedTransactions;
     if (result.kind == L1DResult::Kind::Miss)
-        ++(*statTransactionsMissed_);
+        ++warp.uncountedMissed;
     ++warp.nextTransaction;
 
     if (warp.nextTransaction < instr.transactions.size()) {
@@ -93,12 +94,12 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
     // are posted — the warp proceeds once the requests are accepted.
     ++instructionsIssued_;
     ++(*statMemInstr_);
+    flushWarpTransactions(warp);
     warp.hasPending = false;
     if (instr.type == AccessType::Read) {
         scheduler_.onWake(w, std::max(now + 1, warp.maxFillReady));
         if (warp.maxFillReady > now + 1) {
-            (*statLoadBlock_) +=
-                static_cast<double>(warp.maxFillReady - (now + 1));
+            statLoadBlock_->add(warp.maxFillReady - (now + 1));
         }
     } else {
         scheduler_.onWake(w, now + 1);

@@ -59,8 +59,24 @@ class Sm
      */
     void skipIdle(Cycle cycles)
     {
-        (*statIdle_) += static_cast<double>(cycles);
-        (*statMemWait_) += static_cast<double>(cycles);
+        statIdle_->add(cycles);
+        statMemWait_->add(cycles);
+    }
+
+    /**
+     * Flush warp-local transaction counters into the stat group. The
+     * issue path batches the per-transaction l1d_transactions /
+     * l1d_transactions_missed increments per instruction and flushes
+     * them in one add at instruction exit; warps holding a partially
+     * issued instruction when the run ends still carry unflushed counts,
+     * so Gpu::run() calls this before returning. Idempotent (counters
+     * drain on flush) — stats are exact at every external observation
+     * point, i.e. after run() returns.
+     */
+    void flushIssueStats()
+    {
+        for (WarpContext &warp : warps_)
+            flushWarpTransactions(warp);
     }
 
     std::uint64_t instructionsIssued() const { return instructionsIssued_; }
@@ -85,10 +101,29 @@ class Sm
         std::uint32_t nextTransaction = 0;
         Cycle maxFillReady = 0;     ///< Latest load-data arrival.
         bool stalledTransaction = false;  ///< Current txn is a retry.
+        /** Transactions issued (and missed) since the last stat flush:
+         *  the per-transaction increment cluster lands in these warp-
+         *  local counters and drains in one Scalar add at instruction
+         *  exit (or flushIssueStats at end of run). */
+        std::uint32_t uncountedTransactions = 0;
+        std::uint32_t uncountedMissed = 0;
     };
 
     /** Issue (or continue) warp @p w's instruction. */
     void issueWarp(std::uint32_t w, Cycle now);
+
+    /** Drain @p warp's batched transaction counters into the group. */
+    void flushWarpTransactions(WarpContext &warp)
+    {
+        if (warp.uncountedTransactions) {
+            statTransactions_->add(warp.uncountedTransactions);
+            warp.uncountedTransactions = 0;
+        }
+        if (warp.uncountedMissed) {
+            statTransactionsMissed_->add(warp.uncountedMissed);
+            warp.uncountedMissed = 0;
+        }
+    }
 
     SmId id_;
     SmConfig config_;

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compare a fresh ``fuse_bench --smoke`` run against the committed baseline.
+
+Usage: compare_bench.py BASELINE_JSON FRESH_SMOKE_JSON
+
+Reads the committed ``BENCH_sim_core.json`` (whose ``smoke_baseline``
+section records the same-container ``--smoke`` sweep of the commit that
+last touched the perf baseline) and the smoke JSON just produced by CI,
+and compares ``runs_per_sec``. CI runners are not the baseline container
+and drift run to run, so a deviation beyond the +/-25% band emits a
+GitHub Actions ``::warning::`` annotation rather than failing the job —
+the point is that a silent core-simulator regression surfaces in the
+workflow log on the very push that introduced it.
+
+Exit status is 0 unless a file is unreadable or structurally wrong
+(those are CI configuration bugs and should fail loudly).
+"""
+
+import json
+import sys
+
+BAND = 0.25
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(f"usage: {argv[0]} BASELINE_JSON FRESH_SMOKE_JSON")
+
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        fresh = json.load(f)
+
+    base_section = baseline.get("smoke_baseline")
+    if not base_section:
+        sys.exit(f"{argv[1]}: no smoke_baseline section — regenerate the "
+                 "committed baseline (see README 'Performance')")
+    base = float(base_section["runs_per_sec"])
+    if not fresh.get("smoke"):
+        sys.exit(f"{argv[2]}: not a --smoke run; smoke numbers are only "
+                 "comparable to smoke numbers")
+    current = float(fresh["sweep"]["runs_per_sec"])
+    if base <= 0:
+        sys.exit(f"{argv[1]}: non-positive baseline runs_per_sec {base}")
+
+    ratio = current / base
+    line = (f"bench smoke: {current:.2f} runs/s vs committed baseline "
+            f"{base:.2f} runs/s ({ratio:.2f}x)")
+    if abs(ratio - 1.0) > BAND:
+        direction = "slower" if ratio < 1.0 else "faster"
+        print(f"::warning title=fuse_bench smoke outside ±{BAND:.0%} "
+              f"band::{line} — {direction} than the committed baseline; "
+              "if this push touched the simulation core, re-run "
+              "fuse_bench on the baseline container and recommit "
+              "BENCH_sim_core.json")
+    else:
+        print(f"{line} — within the ±{BAND:.0%} band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
