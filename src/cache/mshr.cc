@@ -35,6 +35,7 @@ Mshr::access(Addr line_addr, Cycle ready_at, BankId destination)
 {
     if (MshrEntry *entry = entries_.find(line_addr)) {
         ++entry->mergedCount;
+        FUSE_PROF_COUNT(mshr, merges);
         if (statMerged_)
             ++(*statMerged_);
         return {MshrResult::Kind::Merged, entry};
@@ -58,6 +59,7 @@ Mshr::allocate(Addr line_addr, Cycle ready_at, BankId destination)
     pushReady(ready_at, line_addr);
     if (ready_at < minReadyAt_)
         minReadyAt_ = ready_at;
+    FUSE_PROF_COUNT(mshr, allocations);
     if (statAllocated_)
         ++(*statAllocated_);
     return entry;
@@ -73,8 +75,10 @@ Mshr::retireReadySlow(Cycle now)
         const Addr line = ready_.front().lineAddr;
         popReady();
         const MshrEntry *entry = entries_.find(line);
-        if (entry && entry->readyAt <= now)
+        if (entry && entry->readyAt <= now) {
+            FUSE_PROF_COUNT(mshr, retirements);
             entries_.erase(line);
+        }
     }
     // Skim stale leftovers off the top so the cached minimum is the exact
     // minimum over in-flight entries (it feeds Full-stall retry times).

@@ -24,6 +24,7 @@
 #include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "prof/prof.hh"
 
 namespace fuse
 {
@@ -81,7 +82,11 @@ class Mshr
     MshrEntry *allocate(Addr line_addr, Cycle ready_at, BankId destination);
 
     /** Look up an in-flight entry. */
-    MshrEntry *find(Addr line_addr) { return entries_.find(line_addr); }
+    MshrEntry *find(Addr line_addr)
+    {
+        FUSE_PROF_COUNT(mshr, probes);
+        return entries_.find(line_addr);
+    }
 
     /** Remove the entry for @p line_addr (fill applied). Its ready-queue
      *  record is invalidated lazily on pop. */

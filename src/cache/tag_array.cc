@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "prof/prof.hh"
 
 namespace fuse
 {
@@ -76,6 +77,7 @@ TagArray::markFree(std::uint32_t set, std::uint32_t way)
 TagArray::Probe
 TagArray::lookup(Addr line_addr) const
 {
+    FUSE_PROF_COUNT(tag_array, lookups);
     Probe p;
     p.set = setIndex(line_addr);
     p.way = wayOf(line_addr, p.set);

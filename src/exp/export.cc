@@ -339,6 +339,19 @@ metricValue(const Metrics &metrics, const std::string &name)
     fuse_fatal("unknown metric '%s'", name.c_str());
 }
 
+void
+writeProfileJson(std::ostream &os, const std::string &experiment,
+                 const prof::ProfileReport &report, std::size_t runs)
+{
+    os << "{\n";
+    os << "  \"experiment\": " << jsonString(experiment) << ",\n";
+    os << "  \"prof_enabled\": " << (prof::enabled() ? "true" : "false")
+       << ",\n";
+    os << "  \"profile\":\n";
+    report.writeJson(os, runs, 2);
+    os << "\n}\n";
+}
+
 Metrics
 metricsFromFlat(const FlatRun &run)
 {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "exp/result_set.hh"
+#include "prof/prof.hh"
 
 namespace fuse
 {
@@ -66,6 +67,18 @@ std::vector<FlatRun> readCsv(std::istream &is);
  *  name. */
 std::vector<FlatRun> readJson(std::istream &is,
                               std::string *experiment = nullptr);
+
+/**
+ * Write a profiling attribution next to sweep results: a JSON document
+ * naming the experiment and build configuration around the report's
+ * committed format. In a FUSE_PROF=OFF build the document is still
+ * written — with "prof_enabled": false and whatever (usually empty)
+ * sites exist — so downstream tooling never has to special-case the
+ * default build. The document round-trips through
+ * prof::ProfileReport::fromJson.
+ */
+void writeProfileJson(std::ostream &os, const std::string &experiment,
+                      const prof::ProfileReport &report, std::size_t runs);
 
 } // namespace fuse
 

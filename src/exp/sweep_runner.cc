@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "prof/prof.hh"
 #include "sim/simulator.hh"
 
 namespace fuse
@@ -73,6 +74,7 @@ SweepRunner::run(const ExperimentSpec &spec, std::size_t shard_index,
     if (shard_count == 0 || shard_index >= shard_count)
         fuse_fatal("invalid shard %zu/%zu (want 0 <= index < count)",
                    shard_index, shard_count);
+    FUSE_PROF_SCOPE(exp, sweep);
 
     ResultSet results(spec.name, spec.benchmarks, spec.kinds,
                       spec.variantLabels());

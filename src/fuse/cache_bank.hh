@@ -17,6 +17,7 @@
 #include "cache/tag_array.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "prof/prof.hh"
 
 namespace fuse
 {
@@ -69,6 +70,7 @@ class CacheBank
      */
     TagArray::Probe lookup(Addr line_addr) const
     {
+        FUSE_PROF_COUNT(l1d_bank, demand_resolutions);
         return tags_.lookup(line_addr);
     }
 
@@ -85,12 +87,14 @@ class CacheBank
     CacheLine *access(Addr line_addr, AccessType type, Cycle now,
                       Cycle *done)
     {
+        FUSE_PROF_COUNT(l1d_bank, demand_resolutions);
         return accessAt(tags_.lookup(line_addr), type, now, done);
     }
 
     /** Untimed lookup (tag-only peek; no array occupancy). */
     const CacheLine *peek(Addr line_addr) const
     {
+        FUSE_PROF_COUNT(l1d_bank, peek_resolutions);
         return tags_.peek(line_addr);
     }
     CacheLine *peekMutable(Addr line_addr);
@@ -116,6 +120,7 @@ class CacheBank
                                  Cycle *done, CacheLine **filled = nullptr,
                                  Port port = Port::Fill)
     {
+        FUSE_PROF_COUNT(l1d_bank, fill_resolutions);
         return fillAt(tags_.lookup(line_addr), line_addr, type, now, done,
                       filled, port);
     }
@@ -129,6 +134,7 @@ class CacheBank
     /** Invalidate without array occupancy (tag-only operation). */
     std::optional<CacheLine> invalidate(Addr line_addr)
     {
+        FUSE_PROF_COUNT(l1d_bank, invalidate_resolutions);
         return tags_.invalidate(line_addr);
     }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "prof/prof.hh"
 
 namespace fuse
 {
@@ -353,6 +354,7 @@ HybridL1D::handleMiss(const MemRequest &req, Cycle now,
 L1DResult
 HybridL1D::access(const MemRequest &req, Cycle now)
 {
+    FUSE_PROF_COUNT(l1d_hybrid, accesses);
     mshr_.retireReady(now);
     // Re-issued (stalled) transactions are already latched in the LSU and
     // must not re-train the sampler — they would fabricate reuse.

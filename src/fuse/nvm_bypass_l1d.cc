@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/prof.hh"
+
 namespace fuse
 {
 
@@ -31,6 +33,7 @@ NvmBypassL1D::bypassRatio() const
 L1DResult
 NvmBypassL1D::access(const MemRequest &req, Cycle now)
 {
+    FUSE_PROF_COUNT(l1d_nvm, accesses);
     mshr_.retireReady(now);
     if (!req.retry)
         predictor_.observe(req);

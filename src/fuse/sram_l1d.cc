@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/prof.hh"
+
 namespace fuse
 {
 
@@ -43,6 +45,7 @@ SramL1D::kind() const
 L1DResult
 SramL1D::access(const MemRequest &req, Cycle now)
 {
+    FUSE_PROF_COUNT(l1d_sram, accesses);
     mshr_.retireReady(now);
     const Addr line = req.line();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "prof/prof.hh"
 
 namespace fuse
 {
@@ -49,6 +50,7 @@ Gpu::run()
     // and merely counting them — and unlike the old all-SMs-asleep
     // fast-forward, one busy SM no longer forces per-cycle ticks on the
     // fourteen sleeping ones.
+    FUSE_PROF_SCOPE(gpu, run);
     constexpr Cycle kNever = ~Cycle(0);
     cycles_ = 0;
     const std::size_t n = sms_.size();
@@ -88,6 +90,7 @@ Gpu::run()
             // bulk.
             if (now > accounted[i] && !was_done)
                 sm.skipIdle(now - accounted[i]);
+            FUSE_PROF_COUNT(gpu, sm_ticks);
             sm.tick(now);
             accounted[i] = now + 1;
             const Cycle next = next_tick_of(sm, now);

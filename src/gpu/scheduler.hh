@@ -24,6 +24,7 @@
 
 #include "common/bitops.hh"
 #include "common/types.hh"
+#include "prof/prof.hh"
 
 namespace fuse
 {
@@ -52,6 +53,7 @@ class WarpScheduler
      */
     void onWake(std::uint32_t warp, Cycle at)
     {
+        FUSE_PROF_COUNT(scheduler, wakes);
         wakeAt_[warp] = at;
         clearReady(warp);
         if (stagedValid_)
@@ -81,6 +83,7 @@ class WarpScheduler
     std::uint32_t
     pickReady(Cycle now, Cycle *min_ready)
     {
+        FUSE_PROF_COUNT(scheduler, picks);
         drainWakes(now);
 
         std::uint32_t w;

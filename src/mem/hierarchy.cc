@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hh"
 
+#include "prof/prof.hh"
+
 namespace fuse
 {
 
@@ -22,6 +24,7 @@ OffchipResult
 MemoryHierarchy::access(const MemRequest &req, Cycle now)
 {
     OffchipResult result;
+    FUSE_PROF_COUNT(mem, offchip_requests);
     ++(*statRequests_);
     ++(*(req.isWrite() ? statWriteRequests_ : statReadRequests_));
 
@@ -61,6 +64,7 @@ MemoryHierarchy::access(const MemRequest &req, Cycle now)
 void
 MemoryHierarchy::writeback(const MemRequest &req, Cycle now)
 {
+    FUSE_PROF_COUNT(mem, offchip_writebacks);
     ++(*statRequests_);
     ++(*statWritebacks_);
     const Addr line = req.line();

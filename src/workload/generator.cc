@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "prof/prof.hh"
 
 namespace fuse
 {
@@ -99,6 +100,7 @@ KernelGenerator::next(WarpId warp)
 void
 KernelGenerator::next(WarpId warp, WarpInstruction &instr)
 {
+    FUSE_PROF_COUNT(workload, instructions);
     WarpState &state = warps_[warp];
     instr.isMem = false;
     instr.type = AccessType::Read;

@@ -1,5 +1,7 @@
 #include "workload/patterns.hh"
 
+#include "prof/prof.hh"
+
 namespace fuse
 {
 
@@ -86,6 +88,7 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
                         std::uint32_t total_warps, Rng &rng,
                         std::vector<Addr> &out)
 {
+    FUSE_PROF_COUNT(workload, cursor_generate);
     const std::uint64_t footprint =
         spec.footprintLines ? spec.footprintLines : 1;
 

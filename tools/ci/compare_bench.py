@@ -12,6 +12,15 @@ GitHub Actions ``::warning::`` annotation rather than failing the job —
 the point is that a silent core-simulator regression surfaces in the
 workflow log on the very push that introduced it.
 
+When the baseline carries a ``profile_baseline`` section and the fresh
+run was produced by a ``FUSE_PROF=ON`` build with ``--profile``, the
+tracked per-component consult counts are compared too. Smoke counts are
+deterministic (single thread, fixed FUSE_FAST budgets), so any drift
+means the push changed how often a hot path runs — which is frequently
+intentional (that is the point of an optimisation) but should never be
+silent. Drift therefore warns, and the fix is to recommit the baseline
+with the new counts, stating the delta in the commit message.
+
 Exit status is 0 unless a file is unreadable or structurally wrong
 (those are CI configuration bugs and should fail loudly).
 """
@@ -20,6 +29,49 @@ import json
 import sys
 
 BAND = 0.25
+
+
+def compare_profile(baseline, fresh):
+    """Warn on tracked consult-count drift; return the number of drifts.
+
+    Silently a no-op when the baseline has no profile_baseline section or
+    the fresh run has no enabled profile (the default FUSE_PROF=OFF leg).
+    """
+    base_section = baseline.get("profile_baseline")
+    profile = fresh.get("profile")
+    if not base_section or not profile or not profile.get("enabled"):
+        return 0
+
+    tracked = base_section["counts"]
+    # Timer-only sites carry count 0; a tracked counter falling to zero
+    # still drifts via the .get(key, 0) default below.
+    fresh_counts = {
+        f"{site['component']}/{site['name']}": int(site["count"])
+        for site in profile["report"]["sites"]
+        if int(site["count"]) > 0
+    }
+    drifted = 0
+    for key in sorted(tracked):
+        want = int(tracked[key])
+        got = fresh_counts.get(key, 0)
+        if got == want:
+            continue
+        drifted += 1
+        delta = got - want
+        print(f"::warning title=profile consult-count drift::{key}: "
+              f"{got} vs committed {want} ({delta:+d}); smoke counts are "
+              "deterministic, so this push changed how often the path "
+              "runs — if intended, recommit profile_baseline in "
+              "BENCH_sim_core.json (fuse_bench --profile --smoke on a "
+              "FUSE_PROF=ON build)")
+    untracked = sorted(set(fresh_counts) - set(tracked))
+    if untracked:
+        print(f"profile: {len(untracked)} site(s) not in the committed "
+              f"baseline (new instrumentation?): {', '.join(untracked)}")
+    if not drifted:
+        print(f"profile: all {len(tracked)} tracked consult counts match "
+              "the committed baseline exactly")
+    return drifted
 
 
 def main(argv):
@@ -46,7 +98,12 @@ def main(argv):
     ratio = current / base
     line = (f"bench smoke: {current:.2f} runs/s vs committed baseline "
             f"{base:.2f} runs/s ({ratio:.2f}x)")
-    if abs(ratio - 1.0) > BAND:
+    if fresh.get("profile", {}).get("enabled"):
+        # A FUSE_PROF=ON build pays for its counters; its wall time is
+        # not comparable to the unprofiled baseline. The profile leg is
+        # judged on counts below; the release leg owns the speed band.
+        print(f"{line} — speed band skipped (profiled build)")
+    elif abs(ratio - 1.0) > BAND:
         direction = "slower" if ratio < 1.0 else "faster"
         print(f"::warning title=fuse_bench smoke outside ±{BAND:.0%} "
               f"band::{line} — {direction} than the committed baseline; "
@@ -55,6 +112,8 @@ def main(argv):
               "BENCH_sim_core.json")
     else:
         print(f"{line} — within the ±{BAND:.0%} band")
+
+    compare_profile(baseline, fresh)
     return 0
 
 

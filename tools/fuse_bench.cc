@@ -8,7 +8,7 @@
  *
  * Usage:
  *   fuse_bench [--figure NAME] [--threads N] [--repeat N]
- *              [--out FILE] [--smoke]
+ *              [--out FILE] [--smoke] [--profile]
  *
  *   --figure NAME  sweep grid to time (default: fig13, the headline IPC
  *                  grid — every organisation x every workload)
@@ -19,6 +19,10 @@
  *   --smoke        CI mode: FUSE_FAST budgets and a two-benchmark grid,
  *                  so the step costs seconds while still tracking the
  *                  same code paths
+ *   --profile      append the sweep's exact per-component profiling
+ *                  attribution (src/prof) as a "profile" section: event
+ *                  counts, exclusive wall time, derived per-run rates.
+ *                  Needs a FUSE_PROF=ON build for non-empty counts.
  */
 
 #include <algorithm>
@@ -33,6 +37,7 @@
 #include "common/log.hh"
 #include "exp/figures.hh"
 #include "exp/sweep_runner.hh"
+#include "prof/prof.hh"
 #include "sim/simulator.hh"
 
 namespace
@@ -65,7 +70,10 @@ usage()
         "  --threads N    sweep worker threads (default: 1)\n"
         "  --repeat N     best-of-N single-run timing (default: 3)\n"
         "  --out FILE     output JSON path (default: BENCH_sim_core.json)\n"
-        "  --smoke        small CI grid with FUSE_FAST budgets\n");
+        "  --smoke        small CI grid with FUSE_FAST budgets\n"
+        "  --profile      emit the sweep's exact profiling attribution\n"
+        "                 (counts are non-zero only in FUSE_PROF=ON "
+        "builds)\n");
 }
 
 } // namespace
@@ -79,6 +87,7 @@ main(int argc, char **argv)
     unsigned threads = 1;
     int repeat = 3;
     bool smoke = false;
+    bool profile = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -108,6 +117,8 @@ main(int argc, char **argv)
             out_path = value();
         } else if (arg == "--smoke") {
             smoke = true;
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -183,9 +194,19 @@ main(int argc, char **argv)
     fuse::SweepRunner runner(threads);
     std::fprintf(stderr, "sweep %s: %zu runs on %u threads...\n",
                  spec.name.c_str(), spec.runCount(), runner.threads());
+    if (profile && !fuse::prof::enabled())
+        std::fprintf(stderr,
+                     "warning: --profile on a FUSE_PROF=OFF build — "
+                     "counts will be zero (rebuild with -DFUSE_PROF=ON)\n");
+    // Attribute the profile to the sweep alone: diff against a snapshot
+    // taken after the single-run section has already polluted the
+    // counters.
+    const fuse::prof::ProfileReport prof_before = fuse::prof::snapshot();
     const auto sweep_start = Clock::now();
     fuse::ResultSet results = runner.run(spec);
     const double sweep_ms = msSince(sweep_start);
+    const fuse::prof::ProfileReport prof_report =
+        fuse::prof::snapshot().diffSince(prof_before);
 
     double total_cycles = 0.0;
     std::size_t valid_runs = 0;
@@ -205,6 +226,34 @@ main(int argc, char **argv)
                  "sweep %s: %zu runs, %.1f ms, %.3f runs/s, %.3g cycles/s\n",
                  spec.name.c_str(), valid_runs, sweep_ms, runs_per_sec,
                  cycles_per_sec);
+
+    // Residency resolutions: one TagArray::lookup per bank consult, the
+    // exact count the single-probe pipeline was validated against with a
+    // hand-inserted temporary counter (209.3M on the full fig13 grid).
+    // The per-level split — L1D demand/fill vs L2 — is in the site list.
+    const std::uint64_t resolutions =
+        prof_report.count("tag_array", "lookups");
+    if (profile) {
+        std::fprintf(stderr,
+                     "profile: %.1fM residency resolutions over %zu runs "
+                     "(L1D demand %.1fM + L1D fill %.1fM + L2 %.1fM)\n",
+                     static_cast<double>(resolutions) / 1e6, valid_runs,
+                     static_cast<double>(prof_report.count(
+                         "l1d_bank", "demand_resolutions")) / 1e6,
+                     static_cast<double>(prof_report.count(
+                         "l1d_bank", "fill_resolutions")) / 1e6,
+                     static_cast<double>(prof_report.count(
+                         "l2", "bank_accesses")) / 1e6);
+        for (const auto &s : prof_report.sites) {
+            std::fprintf(stderr, "profile: %-24s %12llu",
+                         (s.component + "/" + s.name).c_str(),
+                         static_cast<unsigned long long>(s.count));
+            if (s.timedScopes)
+                std::fprintf(stderr, "  %10.1f ms excl",
+                             static_cast<double>(s.exclusiveNs) / 1e6);
+            std::fprintf(stderr, "\n");
+        }
+    }
 
     std::ofstream os(out_path);
     if (!os)
@@ -231,8 +280,18 @@ main(int argc, char **argv)
     os << "    \"runs_per_sec\": " << runs_per_sec << ",\n";
     os << "    \"sim_cycles_total\": " << total_cycles << ",\n";
     os << "    \"cycles_per_sec\": " << cycles_per_sec << "\n";
-    os << "  }\n";
-    os << "}\n";
+    os << "  }";
+    if (profile) {
+        os << ",\n";
+        os << "  \"profile\": {\n";
+        os << "    \"enabled\": "
+           << (fuse::prof::enabled() ? "true" : "false") << ",\n";
+        os << "    \"residency_resolutions\": " << resolutions << ",\n";
+        os << "    \"report\":\n";
+        prof_report.writeJson(os, valid_runs, 4);
+        os << "\n  }";
+    }
+    os << "\n}\n";
     os.close();
     std::fprintf(stderr, "wrote %s\n", out_path.c_str());
     return 0;

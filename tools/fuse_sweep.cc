@@ -35,6 +35,7 @@
 #include "exp/export.hh"
 #include "exp/figures.hh"
 #include "exp/sweep_runner.hh"
+#include "prof/prof.hh"
 #include "sim/report.hh"
 
 namespace
@@ -62,6 +63,9 @@ usage()
         "                    output is identical to an unsharded run)\n"
         "  --json FILE       export results as JSON ('-' = stdout)\n"
         "  --csv FILE        export results as CSV ('-' = stdout)\n"
+        "  --profile-out F   write the sweep's exact profiling\n"
+        "                    attribution as JSON ('-' = stdout; counts\n"
+        "                    are non-zero only in FUSE_PROF=ON builds)\n"
         "  --quiet           skip the rendered tables (exports only)\n"
         "  --keys            list the spec override keys\n");
 }
@@ -251,6 +255,7 @@ main(int argc, char **argv)
     std::string kinds;
     std::string json_path;
     std::string csv_path;
+    std::string profile_path;
     unsigned threads = 0;
     std::size_t shard_index = 0;
     std::size_t shard_count = 1;
@@ -304,6 +309,8 @@ main(int argc, char **argv)
             json_path = value();
         } else if (arg == "--csv") {
             csv_path = value();
+        } else if (arg == "--profile-out") {
+            profile_path = value();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--merge") {
@@ -424,7 +431,30 @@ main(int argc, char **argv)
                      run.variantLabel.c_str());
     });
 
+    if (!profile_path.empty() && !fuse::prof::enabled())
+        std::fprintf(stderr,
+                     "warning: --profile-out on a FUSE_PROF=OFF build — "
+                     "counts will be zero (rebuild with -DFUSE_PROF=ON)\n");
+    const fuse::prof::ProfileReport prof_before = fuse::prof::snapshot();
     fuse::ResultSet results = runner.run(spec, shard_index, shard_count);
+
+    if (!profile_path.empty()) {
+        const fuse::prof::ProfileReport report =
+            fuse::prof::snapshot().diffSince(prof_before);
+        std::size_t valid = 0;
+        for (const auto &run : results.runs())
+            valid += run.valid;
+        if (profile_path == "-") {
+            fuse::writeProfileJson(std::cout, spec.name, report, valid);
+        } else {
+            std::ofstream os(profile_path);
+            if (!os)
+                fuse_fatal("cannot open '%s' for writing",
+                           profile_path.c_str());
+            fuse::writeProfileJson(os, spec.name, report, valid);
+            std::fprintf(stderr, "wrote %s\n", profile_path.c_str());
+        }
+    }
 
     if (!quiet) {
         if (fig && shard_count > 1)
