@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/prof.hh"
+
 namespace fuse
 {
 
@@ -31,6 +33,37 @@ Coalescer::coalesceInPlace(std::vector<Addr> &addresses)
         ++(*statInstructions_);
         statTransactions_->add(out);
         statLanesMerged_->add(lanes - out);
+    }
+}
+
+void
+Coalescer::coalesceBatch(InstructionBatch &batch)
+{
+    FUSE_PROF_COUNT(coalescer, batches);
+    // Same stable dedupe as coalesceInPlace, applied to each memory
+    // instruction's span of the shared buffer. Spans shrink in place:
+    // survivors compact to the span's start and txEnd moves down; later
+    // spans keep their offsets (the issue path walks [txBegin, txEnd)).
+    for (std::uint32_t i = 0; i < batch.size; ++i) {
+        InstructionBatch::Decoded &d = batch.instr[i];
+        if (!d.isMem)
+            continue;
+        Addr *const span = batch.addrs.data() + d.txBegin;
+        const std::uint32_t lanes = d.txEnd - d.txBegin;
+        std::uint32_t out = 0;
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+            const Addr base = lineBase(span[l]);
+            bool seen = false;
+            for (std::uint32_t j = 0; j < out; ++j) {
+                if (span[j] == base) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen)
+                span[out++] = base;
+        }
+        d.txEnd = static_cast<std::uint16_t>(d.txBegin + out);
     }
 }
 

@@ -14,6 +14,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "workload/trace.hh"
 
 namespace fuse
 {
@@ -24,6 +25,9 @@ class Coalescer
   public:
     explicit Coalescer(StatGroup *stats = nullptr)
     {
+        // Handles cached once at construction (stats.hh contract): the
+        // batch pipeline records per-batch and per-consumed-instruction
+        // without any per-call scalar() lookups.
         if (stats) {
             statInstructions_ = &stats->scalar("coalesce_instructions");
             statTransactions_ = &stats->scalar("coalesce_transactions");
@@ -38,11 +42,34 @@ class Coalescer
     std::vector<Addr> coalesce(const std::vector<Addr> &addresses);
 
     /**
-     * In-place variant for the per-instruction hot path: rewrites
-     * @p addresses to its coalesced form without allocating. Same
-     * first-touch order as coalesce().
+     * In-place variant: rewrites @p addresses to its coalesced form
+     * without allocating. Same first-touch order as coalesce(). The
+     * scalar reference model of the batch parity tier; the simulation
+     * hot path uses coalesceBatch().
      */
     void coalesceInPlace(std::vector<Addr> &addresses);
+
+    /**
+     * Batch form of the hot path: coalesce every memory instruction's
+     * transaction span of @p batch in place within the shared buffer
+     * (spans shrink — txEnd moves, later spans stay put). Statistics
+     * are NOT recorded here: a prefetched batch can outlive the run
+     * half-consumed, so the SM records each instruction as it consumes
+     * it via noteConsumed(), keeping coalesce_* counters exactly what
+     * the per-instruction pipeline reported at every observation point.
+     */
+    void coalesceBatch(InstructionBatch &batch);
+
+    /** Record one consumed memory instruction: @p lanes pre-coalesce
+     *  addresses became @p transactions line transactions. */
+    void noteConsumed(std::uint32_t lanes, std::uint32_t transactions)
+    {
+        if (statInstructions_) {
+            ++(*statInstructions_);
+            statTransactions_->add(transactions);
+            statLanesMerged_->add(lanes - transactions);
+        }
+    }
 
   private:
     // Cached counters (null without a stats group).

@@ -28,19 +28,29 @@ void
 Sm::issueWarp(std::uint32_t w, Cycle now)
 {
     WarpContext &warp = warps_[w];
+    InstructionBatch &batch = warp.batch;
 
     if (!warp.hasPending) {
-        // Fetch the next instruction from the kernel, reusing the warp's
-        // instruction storage (no per-instruction allocation).
-        kernel_->next(w, warp.pending);
+        // Pop the next decoded instruction, refilling the warp's batch
+        // from the generator + coalescer when it runs dry: one refill
+        // hands the issue path kCapacity pre-coalesced instructions.
+        if (batch.exhausted()) {
+            kernel_->nextBatch(w, batch);
+            coalescer_.coalesceBatch(batch);
+        }
+        warp.cur = batch.consumed++;
         warp.hasPending = true;
-        warp.nextTransaction = 0;
+        const InstructionBatch::Decoded &popped = batch.instr[warp.cur];
+        warp.nextTransaction = popped.txBegin;
         warp.maxFillReady = 0;
-        if (warp.pending.isMem)
-            coalescer_.coalesceInPlace(warp.pending.transactions);
+        // Coalesce statistics count at consumption, not at batch refill:
+        // pre-decoded but never-issued instructions must stay invisible.
+        if (popped.isMem)
+            coalescer_.noteConsumed(popped.lanes,
+                                    popped.txEnd - popped.txBegin);
     }
 
-    WarpInstruction &instr = warp.pending;
+    const InstructionBatch::Decoded &instr = batch.instr[warp.cur];
     if (!instr.isMem) {
         ++instructionsIssued_;
         ++(*statCompute_);
@@ -54,7 +64,7 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
     // cycle; an L1D structural stall blocks the LSU for this cycle (the
     // paper's L1D stall).
     MemRequest req;
-    req.addr = instr.transactions[warp.nextTransaction];
+    req.addr = batch.addrs[warp.nextTransaction];
     req.pc = instr.pc;
     req.smId = id_;
     req.warpId = w;
@@ -82,7 +92,7 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
         ++warp.uncountedMissed;
     ++warp.nextTransaction;
 
-    if (warp.nextTransaction < instr.transactions.size()) {
+    if (warp.nextTransaction < instr.txEnd) {
         // More transactions to issue next cycle.
         scheduler_.onWake(w, now + 1);
         scheduler_.issued(w);

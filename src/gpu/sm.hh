@@ -97,7 +97,12 @@ class Sm
     struct WarpContext
     {
         bool hasPending = false;    ///< Mid-way through a mem instruction.
-        WarpInstruction pending;
+        /** Decoded-instruction queue: one nextBatch() + coalesceBatch()
+         *  refill hands the issue path kCapacity instructions, keeping
+         *  the generator and coalescer off the per-cycle path. */
+        InstructionBatch batch;
+        std::uint32_t cur = 0;      ///< Batch slot of the in-flight instr.
+        /** Next transaction to issue — absolute index into batch.addrs. */
         std::uint32_t nextTransaction = 0;
         Cycle maxFillReady = 0;     ///< Latest load-data arrival.
         bool stalledTransaction = false;  ///< Current txn is a retry.

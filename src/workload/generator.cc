@@ -48,6 +48,7 @@ KernelGenerator::KernelGenerator(const BenchmarkSpec &spec, SmId sm,
         state.rng = Rng(seed * 0x100000001b3ull
                         + (std::uint64_t(sm) << 20) + w);
         state.cursors.resize(spec.streams.size());
+        state.queues.resize(spec.streams.size());
         state.instructionsUntilMem = computeGap(state);
     }
 }
@@ -170,6 +171,106 @@ KernelGenerator::next(WarpId warp, WarpInstruction &instr)
         state.pendingStream = static_cast<std::int32_t>(s);
         state.pendingIsWrite = is_write;
     }
+}
+
+std::uint64_t
+KernelGenerator::appendTransactions(WarpState &state, WarpId warp,
+                                    std::uint32_t s, std::vector<Addr> &out)
+{
+    const StreamSpec &stream = spec_->streams[s];
+    const WarpId global_warp = sm_ * warpsPerSm_ + warp;
+    const std::uint32_t total_warps = numSms_ * warpsPerSm_;
+
+    if (!rngFreeKind(stream.kind)) {
+        // RNG-consuming cursor: its draws interleave with the decode
+        // loop's gap/pick/write draws on the warp's one RNG, so it must
+        // generate exactly where the scalar path would — no prefetch.
+        state.cursors[s].generateBatch(stream, streamBases_[s], global_warp,
+                                       total_warps, state.rng, 1, out);
+        return state.cursors[s].position();
+    }
+
+    StreamQueue &q = state.queues[s];
+    if (q.head == q.lines.size()) {
+        // Refill: one amortised cursor call per kPrefetch instructions.
+        // Only SharedReuse's first-ever refill draws RNG (its start
+        // offset), and that refill is triggered by the stream's first
+        // decoded instruction — the same draw point as the scalar path.
+        q.lines.clear();
+        q.head = 0;
+        q.basePos = state.cursors[s].position();
+        state.cursors[s].generateBatch(stream, streamBases_[s], global_warp,
+                                       total_warps, state.rng, kPrefetch,
+                                       q.lines);
+    }
+    out.push_back(q.lines[q.head++]);
+    // RNG-free generate-equivalents advance the cursor by one each, so
+    // the consumed entry's scalar-equivalent position is basePos + head.
+    return q.basePos + q.head;
+}
+
+void
+KernelGenerator::nextBatch(WarpId warp, InstructionBatch &out)
+{
+    WarpState &state = warps_[warp];
+    out.clear();
+    while (out.size < InstructionBatch::kCapacity) {
+        InstructionBatch::Decoded &d = out.instr[out.size];
+        d.isMem = false;
+        d.type = AccessType::Read;
+        d.pc = 0;
+        d.txBegin = static_cast<std::uint16_t>(out.addrs.size());
+
+        if (state.pendingStream >= 0) {
+            // Forced follow-up: the store half of a read-modify-write or
+            // the second touch of a shared-reuse pair.
+            const auto s = static_cast<std::uint32_t>(state.pendingStream);
+            const bool is_write = state.pendingIsWrite;
+            state.pendingStream = -1;
+            d.isMem = true;
+            d.type = is_write ? AccessType::Write : AccessType::Read;
+            d.pc = streamPc(s, is_write);
+            appendTransactions(state, warp, s, out.addrs);
+        } else if (state.instructionsUntilMem > 0) {
+            --state.instructionsUntilMem;
+            d.pc = kPcBase - 4;  // generic compute PC
+        } else {
+            // Memory instruction: pick a stream, generate transactions.
+            state.instructionsUntilMem = computeGap(state);
+            const std::uint32_t s = pickStream(state);
+            const StreamSpec &stream = spec_->streams[s];
+            d.isMem = true;
+            const bool is_write = state.rng.chance(stream.writeProb);
+            if (stream.kind == PatternKind::PrivateAccum) {
+                // Accumulators are explicit load+store pairs when the
+                // draw says "update": load now, store next instruction.
+                d.type = AccessType::Read;
+                d.pc = streamPc(s, /*write_half=*/false);
+                appendTransactions(state, warp, s, out.addrs);
+                if (is_write) {
+                    state.pendingStream = static_cast<std::int32_t>(s);
+                    state.pendingIsWrite = true;
+                }
+            } else {
+                d.type = is_write ? AccessType::Write : AccessType::Read;
+                d.pc = streamPc(s, is_write);
+                const std::uint64_t pos =
+                    appendTransactions(state, warp, s, out.addrs);
+                // Shared structures are touched twice back-to-back: the
+                // queue-tracked position supplies the pair parity the
+                // scalar path reads off the cursor.
+                if (stream.kind == PatternKind::SharedReuse
+                    && pos % 2 == 1) {
+                    state.pendingStream = static_cast<std::int32_t>(s);
+                    state.pendingIsWrite = is_write;
+                }
+            }
+        }
+        d.txEnd = static_cast<std::uint16_t>(out.addrs.size());
+        d.lanes = static_cast<std::uint16_t>(d.txEnd - d.txBegin);
+        ++out.size;
+    }
+    FUSE_PROF_ADD(workload, instructions, out.size);
 }
 
 } // namespace fuse

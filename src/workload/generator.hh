@@ -41,11 +41,29 @@ class KernelGenerator
     WarpInstruction next(WarpId warp);
 
     /**
-     * In-place variant for the per-instruction hot path: resets @p out
-     * and fills it, reusing out.transactions' storage instead of
-     * allocating a fresh vector per instruction.
+     * In-place scalar variant: resets @p out and fills it, reusing
+     * out.transactions' storage instead of allocating a fresh vector per
+     * instruction. This is the reference model the batch parity tier
+     * checks nextBatch() against; the simulation hot path uses
+     * nextBatch().
      */
     void next(WarpId warp, WarpInstruction &out);
+
+    /**
+     * Batch form of the hot path: decode the warp's next
+     * InstructionBatch::kCapacity instructions into @p out in one call
+     * (SoA arrays, transactions appended to the shared addrs buffer).
+     * Bit-identical to driving next(): every warp owns its RNG and
+     * cursors, so pre-decoding a warp's run consumes draws in exactly
+     * the scalar order, and RNG-free pattern kinds are additionally
+     * prefetched through per-stream cursor queues refilled
+     * kPrefetch generate-equivalents at a time.
+     *
+     * A given warp must be driven through either next() or nextBatch(),
+     * not both: the scalar path bypasses the prefetch queues, so mixing
+     * the APIs on one warp would skip buffered addresses.
+     */
+    void nextBatch(WarpId warp, InstructionBatch &out);
 
     const BenchmarkSpec &spec() const { return *spec_; }
 
@@ -53,10 +71,25 @@ class KernelGenerator
     Addr streamPc(std::uint32_t stream_index, bool write_half) const;
 
   private:
+    /**
+     * Prefetched generate-equivalents of one RNG-free (warp, stream)
+     * cursor: a block of future transaction addresses produced by one
+     * generateBatch call and handed out one per decoded instruction.
+     * Legal only for kinds whose cursors never draw from the warp RNG
+     * after first touch (see PatternCursor::generateBatch).
+     */
+    struct StreamQueue
+    {
+        std::vector<Addr> lines;    ///< Prefetched addresses.
+        std::uint32_t head = 0;     ///< Next address to hand out.
+        std::uint64_t basePos = 0;  ///< Cursor position of lines[0].
+    };
+
     struct WarpState
     {
         Rng rng{1};
         std::vector<PatternCursor> cursors;  ///< One per stream.
+        std::vector<StreamQueue> queues;     ///< One per stream.
         /** Stream index owing a forced follow-up access: the store half
          *  of a read-modify-write, or the second touch of a shared-reuse
          *  pair. */
@@ -64,6 +97,30 @@ class KernelGenerator
         bool pendingIsWrite = false;
         std::uint64_t instructionsUntilMem = 0;
     };
+
+    /** Generate-equivalents per RNG-free cursor refill: large enough to
+     *  amortise the dispatch (the batch factor the profile tracks),
+     *  small enough that a queue is a few cache lines. */
+    static constexpr std::uint32_t kPrefetch = 64;
+
+    /** Kinds whose cursors never consume warp RNG after their first
+     *  call — the ones nextBatch may prefetch ahead of decode order. */
+    static bool rngFreeKind(PatternKind kind)
+    {
+        return kind != PatternKind::RandomIrregular
+               && kind != PatternKind::HotWorkingSet;
+    }
+
+    /**
+     * Append stream @p s's next generate-equivalent for @p warp to
+     * @p out (queue pop for RNG-free kinds, refilling kPrefetch at a
+     * time; direct cursor call at the decode point otherwise). Returns
+     * the cursor position AFTER the consumed equivalent — the
+     * shared-reuse pair parity the decode loop keys on.
+     */
+    std::uint64_t appendTransactions(WarpState &state, WarpId warp,
+                                     std::uint32_t s,
+                                     std::vector<Addr> &out);
 
     std::uint32_t pickStream(WarpState &state);
     std::uint64_t computeGap(WarpState &state);

@@ -89,6 +89,16 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
                         std::vector<Addr> &out)
 {
     FUSE_PROF_COUNT(workload, cursor_generate);
+    generateBatch(spec, base, warp, total_warps, rng, 1, out);
+}
+
+void
+PatternCursor::generateBatch(const StreamSpec &spec, Addr base, WarpId warp,
+                             std::uint32_t total_warps, Rng &rng,
+                             std::uint32_t instructions,
+                             std::vector<Addr> &out)
+{
+    FUSE_PROF_COUNT(workload, batch_generate);
     const std::uint64_t footprint =
         spec.footprintLines ? spec.footprintLines : 1;
 
@@ -98,19 +108,23 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
         // walks them with the configured stride, wrapping at the slice.
         if (!derivedReady_)
             initDerived(spec, warp, total_warps);
-        const std::uint64_t line = sliceBase_ + phase_;
-        phase_ += strideMod_;
-        if (phase_ >= slice_)
-            phase_ -= slice_;
-        cursor_++;
-        out.push_back(base + line * kLineSize);
+        for (std::uint32_t n = 0; n < instructions; ++n) {
+            const std::uint64_t line = sliceBase_ + phase_;
+            phase_ += strideMod_;
+            if (phase_ >= slice_)
+                phase_ -= slice_;
+            out.push_back(base + line * kLineSize);
+        }
+        cursor_ += instructions;
         break;
       }
       case PatternKind::SharedReuse: {
         // All warps sweep the same shared region, each starting at a
         // random offset (real warps process different elements): the
         // instantaneous footprint is the whole region, so a cache must
-        // hold ~footprint lines to convert the sharing into hits.
+        // hold ~footprint lines to convert the sharing into hits. The
+        // start offset is this kind's only RNG draw, so only the batch
+        // serving the first-ever call touches the warp's generator.
         if (!initialized_) {
             cursor_ = 2 * rng.below(footprint);
             initialized_ = true;
@@ -122,14 +136,16 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
         // what the request sampler observes as reuse, training the
         // predictor towards WORM; the first touch of each sweep is the
         // capacity-sensitive access.
-        const std::uint64_t line = phase_;
-        if (cursor_ & 1) {
-            // Second touch served: the pair advances to the next line.
-            if (++phase_ == slice_)
-                phase_ = 0;
+        for (std::uint32_t n = 0; n < instructions; ++n) {
+            const std::uint64_t line = phase_;
+            if (cursor_ & 1) {
+                // Second touch served: the pair advances to the next line.
+                if (++phase_ == slice_)
+                    phase_ = 0;
+            }
+            cursor_++;
+            out.push_back(base + line * kLineSize);
         }
-        cursor_++;
-        out.push_back(base + line * kLineSize);
         break;
       }
       case PatternKind::PrivateAccum: {
@@ -138,13 +154,15 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
         // the private region slowly to touch several accumulator lines.
         if (!derivedReady_)
             initDerived(spec, warp, total_warps);
-        const std::uint64_t line = sliceBase_ + phase_;
-        if (cursor_ & 1) {
-            if (++phase_ == slice_)
-                phase_ = 0;
+        for (std::uint32_t n = 0; n < instructions; ++n) {
+            const std::uint64_t line = sliceBase_ + phase_;
+            if (cursor_ & 1) {
+                if (++phase_ == slice_)
+                    phase_ = 0;
+            }
+            cursor_++;
+            out.push_back(base + line * kLineSize);
         }
-        cursor_++;
-        out.push_back(base + line * kLineSize);
         break;
       }
       case PatternKind::HotWorkingSet: {
@@ -157,6 +175,8 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
         // lines pile onto a handful of cache sets — the conflict-miss
         // storm that a set-associative L1D suffers and the approximated
         // fully-associative STT-MRAM bank eliminates.
+        // Draws from @p rng per transaction: callers may only batch
+        // decode-consecutive instructions of this stream (see header).
         if (!derivedReady_)
             initDerived(spec, warp, total_warps);
         auto fresh = [&]() {
@@ -167,37 +187,44 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
             cursor_++;
             return line;
         };
-        if (activeLines_.empty()) {
-            activeLines_.reserve(spec.clusterLines);
-            for (std::uint32_t i = 0; i < spec.clusterLines; ++i)
-                activeLines_.push_back(fresh());
-        }
-        for (std::uint32_t t = 0; t < spec.divergence; ++t) {
-            if (rng.chance(spec.churnProb)) {
-                // Retire a random active line; admit the next fresh line.
-                std::uint64_t victim = rng.below(activeLines_.size());
-                activeLines_[victim] = fresh();
+        for (std::uint32_t n = 0; n < instructions; ++n) {
+            if (activeLines_.empty()) {
+                activeLines_.reserve(spec.clusterLines);
+                for (std::uint32_t i = 0; i < spec.clusterLines; ++i)
+                    activeLines_.push_back(fresh());
             }
-            std::uint64_t line;
-            if (lastHotLine_ != ~std::uint64_t(0)
-                && rng.chance(spec.repeatProb)) {
-                // Immediate re-touch across instructions: threads consume
-                // consecutive words of the line they used last iteration.
-                line = lastHotLine_;
-            } else {
-                line = activeLines_[rng.below(activeLines_.size())];
+            for (std::uint32_t t = 0; t < spec.divergence; ++t) {
+                if (rng.chance(spec.churnProb)) {
+                    // Retire a random active line; admit the next fresh
+                    // line.
+                    std::uint64_t victim = rng.below(activeLines_.size());
+                    activeLines_[victim] = fresh();
+                }
+                std::uint64_t line;
+                if (lastHotLine_ != ~std::uint64_t(0)
+                    && rng.chance(spec.repeatProb)) {
+                    // Immediate re-touch across instructions: threads
+                    // consume consecutive words of the line they used
+                    // last iteration.
+                    line = lastHotLine_;
+                } else {
+                    line = activeLines_[rng.below(activeLines_.size())];
+                }
+                lastHotLine_ = line;
+                out.push_back(base + line * kLineSize);
             }
-            lastHotLine_ = line;
-            out.push_back(base + line * kLineSize);
         }
         break;
       }
       case PatternKind::RandomIrregular: {
         // Divergent gather: each transaction lands on a random line in a
         // large footprint; divergence > 1 produces multiple transactions
-        // for one warp instruction (uncoalesced SIMT access).
-        for (std::uint32_t t = 0; t < spec.divergence; ++t)
-            out.push_back(base + rng.below(footprint) * kLineSize);
+        // for one warp instruction (uncoalesced SIMT access). One draw
+        // per transaction: same batching restriction as HotWorkingSet.
+        for (std::uint32_t n = 0; n < instructions; ++n) {
+            for (std::uint32_t t = 0; t < spec.divergence; ++t)
+                out.push_back(base + rng.below(footprint) * kLineSize);
+        }
         break;
       }
       case PatternKind::Stencil: {
@@ -206,17 +233,19 @@ PatternCursor::generate(const StreamSpec &spec, Addr base, WarpId warp,
         // each line ~3 short-distance reuses.
         if (!derivedReady_)
             initDerived(spec, warp, total_warps);
-        std::uint64_t line = phase_ + step3_;
-        if (line >= slice_)
-            line -= slice_;
-        line += sliceBase_;
-        if (++step3_ == 3) {
-            step3_ = 0;
-            if (++phase_ == slice_)
-                phase_ = 0;
+        for (std::uint32_t n = 0; n < instructions; ++n) {
+            std::uint64_t line = phase_ + step3_;
+            if (line >= slice_)
+                line -= slice_;
+            line += sliceBase_;
+            if (++step3_ == 3) {
+                step3_ = 0;
+                if (++phase_ == slice_)
+                    phase_ = 0;
+            }
+            cursor_++;
+            out.push_back(base + line * kLineSize);
         }
-        cursor_++;
-        out.push_back(base + line * kLineSize);
         break;
       }
     }

@@ -101,6 +101,26 @@ class PatternCursor
                   std::uint32_t total_warps, Rng &rng,
                   std::vector<Addr> &out);
 
+    /**
+     * Batch form: emit @p instructions consecutive generate()-equivalents
+     * in one call, bit-identical to calling generate() that many times.
+     * The per-kind dispatch and derived-state loads happen once per
+     * batch; the inner loops are tight increment-and-wrap walks over the
+     * precomputed slice/phase/stride residues (the SoA-style state
+     * initDerived() reduces to).
+     *
+     * RNG contract: Stream / PrivateAccum / Stencil never touch @p rng
+     * and SharedReuse touches it only on its very first call, so for
+     * those kinds a batch may be generated AHEAD of the warp's decode
+     * order and buffered. RandomIrregular and HotWorkingSet draw from
+     * @p rng per transaction: their batches must be generated exactly at
+     * the decode point the scalar path would, or the warp's draw order
+     * (and every trace downstream) changes.
+     */
+    void generateBatch(const StreamSpec &spec, Addr base, WarpId warp,
+                       std::uint32_t total_warps, Rng &rng,
+                       std::uint32_t instructions, std::vector<Addr> &out);
+
   private:
     /** Pre-reduce the per-call modular state. The spec/warp geometry of a
      *  cursor never changes (the generator owns one cursor per stream per

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Differential parity tier for the batch access pipeline: the scalar
+ * KernelGenerator::next() / Coalescer::coalesceInPlace() pair is the
+ * reference model, and nextBatch() / coalesceBatch() must reproduce it
+ * bit-for-bit — instruction kinds, PCs, types, transaction addresses,
+ * coalesced spans, and coalesce statistics. Cases cover every PatternKind
+ * in isolation (divergence 1/4/8 explicitly) plus real benchmark mixes,
+ * driven in the SM's interleaved warp order so prefetch queues, pending
+ * follow-ups, and per-warp RNG streams all cross batch boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "gpu/coalescer.hh"
+#include "workload/benchmarks.hh"
+#include "workload/generator.hh"
+
+namespace fuse
+{
+namespace
+{
+
+/**
+ * Consumes one generator through nextBatch() an instruction at a time,
+ * mirroring how the SM pops decoded instructions: one InstructionBatch per
+ * warp, refilled when exhausted. Left-over decoded instructions at the end
+ * of a run are simply never popped (the SM's over-generation).
+ */
+class BatchReader
+{
+  public:
+    BatchReader(const BenchmarkSpec &spec, SmId sm, std::uint32_t num_sms,
+                std::uint32_t warps_per_sm, std::uint64_t seed)
+        : gen_(spec, sm, num_sms, warps_per_sm, seed),
+          batches_(warps_per_sm)
+    {
+    }
+
+    /** Pop warp @p w's next decoded instruction; @p coalescer, when
+     *  non-null, coalesces each fresh batch (the SM's refill hook). */
+    const InstructionBatch &pop(WarpId w, std::uint32_t &slot,
+                                Coalescer *coalescer = nullptr)
+    {
+        InstructionBatch &batch = batches_[w];
+        if (batch.exhausted()) {
+            gen_.nextBatch(w, batch);
+            if (coalescer)
+                coalescer->coalesceBatch(batch);
+        }
+        slot = batch.consumed++;
+        return batch;
+    }
+
+  private:
+    KernelGenerator gen_;
+    std::vector<InstructionBatch> batches_;
+};
+
+struct KindCase
+{
+    const char *name;
+    BenchmarkSpec spec;
+};
+
+/** Single-kind specs covering all six kinds, divergence 1/4/8 explicitly
+ *  (same parameters as the pre-batch golden fingerprints in
+ *  test_workload.cc). */
+std::vector<KindCase>
+kindCases()
+{
+    auto mk = [](const char *name, StreamSpec s) {
+        BenchmarkSpec b;
+        b.name = name;
+        b.apki = 60;
+        b.streams = {s};
+        return b;
+    };
+    StreamSpec st;
+    st.kind = PatternKind::Stream;
+    st.footprintLines = 1u << 18;
+    st.strideLines = 3;
+    st.writeProb = 0.3;
+    StreamSpec sh;
+    sh.kind = PatternKind::SharedReuse;
+    sh.footprintLines = 420;
+    StreamSpec ac;
+    ac.kind = PatternKind::PrivateAccum;
+    ac.footprintLines = 640;
+    ac.writeProb = 0.5;
+    StreamSpec ir;
+    ir.kind = PatternKind::RandomIrregular;
+    ir.footprintLines = 4096;
+    ir.divergence = 4;
+    ir.writeProb = 0.2;
+    StreamSpec ho;
+    ho.kind = PatternKind::HotWorkingSet;
+    ho.divergence = 4;
+    ho.clusterLines = 10;
+    ho.churnProb = 0.08;
+    ho.strideLines = 16;
+    ho.footprintLines = 1u << 21;
+    StreamSpec sc;
+    sc.kind = PatternKind::Stencil;
+    sc.footprintLines = 12288;
+    sc.writeProb = 0.2;
+    StreamSpec ir1 = ir;
+    ir1.divergence = 1;
+    StreamSpec ho8 = ho;
+    ho8.divergence = 8;
+    return {
+        {"stream", mk("k-stream", st)},
+        {"shared-reuse", mk("k-shared", sh)},
+        {"private-accum", mk("k-accum", ac)},
+        {"random-irregular-d4", mk("k-irr4", ir)},
+        {"random-irregular-d1", mk("k-irr1", ir1)},
+        {"hot-working-set-d4", mk("k-hot4", ho)},
+        {"hot-working-set-d8", mk("k-hot8", ho8)},
+        {"stencil", mk("k-stencil", sc)},
+    };
+}
+
+/** Drive scalar and batch pipelines over @p spec and require bit parity on
+ *  every decoded field for @p instructions pops in interleaved warp order. */
+void
+expectGeneratorParity(const BenchmarkSpec &spec, int instructions,
+                      const char *label)
+{
+    constexpr std::uint32_t kWarps = 48;
+    KernelGenerator scalar(spec, /*sm=*/3, /*num_sms=*/15, kWarps,
+                           /*seed=*/1);
+    BatchReader batch(spec, 3, 15, kWarps, 1);
+
+    WarpInstruction ref;
+    for (int i = 0; i < instructions; ++i) {
+        const WarpId w = static_cast<WarpId>(i % kWarps);
+        scalar.next(w, ref);
+        std::uint32_t slot = 0;
+        const InstructionBatch &b = batch.pop(w, slot);
+
+        ASSERT_EQ(b.instr[slot].isMem, ref.isMem) << label << " @" << i;
+        ASSERT_EQ(b.instr[slot].type, ref.type) << label << " @" << i;
+        ASSERT_EQ(b.instr[slot].pc, ref.pc) << label << " @" << i;
+        const std::uint32_t lanes = b.instr[slot].txEnd - b.instr[slot].txBegin;
+        ASSERT_EQ(lanes, ref.transactions.size()) << label << " @" << i;
+        ASSERT_EQ(b.instr[slot].lanes, lanes) << label << " @" << i;
+        for (std::uint32_t t = 0; t < lanes; ++t)
+            ASSERT_EQ(b.addrs[b.instr[slot].txBegin + t], ref.transactions[t])
+                << label << " @" << i << " lane " << t;
+    }
+}
+
+TEST(BatchParity, EveryPatternKindMatchesScalarGenerator)
+{
+    for (const KindCase &c : kindCases())
+        expectGeneratorParity(c.spec, 100000, c.name);
+}
+
+TEST(BatchParity, RealBenchmarkMixesMatchScalarGenerator)
+{
+    for (const char *name : {"ATAX", "GEMM", "SM", "PVC", "2DCONV", "histo"})
+        expectGeneratorParity(benchmarkByName(name), 100000, name);
+}
+
+/** Full-pipeline parity: batch decode + coalesceBatch + consumption-time
+ *  statistics against scalar decode + coalesceInPlace (which records its
+ *  statistics at the same per-instruction points). */
+void
+expectCoalescedParity(const BenchmarkSpec &spec, int instructions,
+                      const char *label)
+{
+    constexpr std::uint32_t kWarps = 48;
+    StatGroup scalar_stats("scalar");
+    StatGroup batch_stats("batch");
+    Coalescer scalar_coalescer(&scalar_stats);
+    Coalescer batch_coalescer(&batch_stats);
+
+    KernelGenerator scalar(spec, 3, 15, kWarps, 1);
+    BatchReader batch(spec, 3, 15, kWarps, 1);
+
+    WarpInstruction ref;
+    for (int i = 0; i < instructions; ++i) {
+        const WarpId w = static_cast<WarpId>(i % kWarps);
+        scalar.next(w, ref);
+        std::uint32_t slot = 0;
+        const InstructionBatch &b = batch.pop(w, slot, &batch_coalescer);
+        if (!ref.isMem) {
+            ASSERT_FALSE(b.instr[slot].isMem) << label << " @" << i;
+            continue;
+        }
+        scalar_coalescer.coalesceInPlace(ref.transactions);
+        batch_coalescer.noteConsumed(b.instr[slot].lanes,
+                                     b.instr[slot].txEnd - b.instr[slot].txBegin);
+
+        const std::uint32_t txns = b.instr[slot].txEnd - b.instr[slot].txBegin;
+        ASSERT_EQ(txns, ref.transactions.size()) << label << " @" << i;
+        for (std::uint32_t t = 0; t < txns; ++t)
+            ASSERT_EQ(b.addrs[b.instr[slot].txBegin + t], ref.transactions[t])
+                << label << " @" << i << " txn " << t;
+    }
+    // Consumption-time accounting must land on the scalar totals exactly.
+    for (const char *stat : {"coalesce_instructions", "coalesce_transactions",
+                             "coalesce_lanes_merged"}) {
+        EXPECT_EQ(batch_stats.scalar(stat).value(),
+                  scalar_stats.scalar(stat).value())
+            << label << " " << stat;
+    }
+}
+
+TEST(BatchParity, CoalescedSpansAndStatsMatchScalarPipeline)
+{
+    for (const KindCase &c : kindCases())
+        expectCoalescedParity(c.spec, 50000, c.name);
+    for (const char *name : {"ATAX", "GEMM", "SM"})
+        expectCoalescedParity(benchmarkByName(name), 50000, name);
+}
+
+} // namespace
+} // namespace fuse

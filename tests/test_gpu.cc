@@ -42,6 +42,65 @@ TEST(Coalescer, StatsCountMergedLanes)
     EXPECT_DOUBLE_EQ(stats.get("coalesce_lanes_merged"), 2.0);
 }
 
+TEST(Coalescer, BatchCoalescesEachSpanInPlace)
+{
+    Coalescer c;
+    InstructionBatch batch;
+    // Instruction 0: compute (empty span). Instruction 1: 4 lanes on 2
+    // lines. Instruction 2: first-touch-order dedupe (300 shares 256's
+    // line).
+    batch.size = 3;
+    batch.instr[0].isMem = false;
+    batch.instr[1].isMem = true;
+    batch.instr[1].txBegin = 0;
+    batch.addrs = {0, 4, 128, 132, /*instr 2:*/ 256, 0, 300};
+    batch.instr[1].txEnd = 4;
+    batch.instr[1].lanes = 4;
+    batch.instr[2].isMem = true;
+    batch.instr[2].txBegin = 4;
+    batch.instr[2].txEnd = 7;
+    batch.instr[2].lanes = 3;
+
+    c.coalesceBatch(batch);
+
+    // Span 1 shrank to its line bases; span 2 starts at its original
+    // offset (spans never move — holes stay, consumers walk
+    // [txBegin, txEnd) only).
+    EXPECT_EQ(batch.instr[1].txEnd, 2u);
+    EXPECT_EQ(batch.addrs[0], 0u);
+    EXPECT_EQ(batch.addrs[1], 128u);
+    EXPECT_EQ(batch.instr[2].txBegin, 4u);
+    EXPECT_EQ(batch.instr[2].txEnd, 6u);
+    EXPECT_EQ(batch.addrs[4], 256u);
+    EXPECT_EQ(batch.addrs[5], 0u);
+    // Pre-coalesce widths survive for consumption-time statistics.
+    EXPECT_EQ(batch.instr[1].lanes, 4u);
+    EXPECT_EQ(batch.instr[2].lanes, 3u);
+}
+
+TEST(Coalescer, BatchRecordsNoStatsUntilConsumption)
+{
+    StatGroup stats("sm");
+    Coalescer c(&stats);
+    InstructionBatch batch;
+    batch.size = 1;
+    batch.instr[0].isMem = true;
+    batch.instr[0].txBegin = 0;
+    batch.addrs = {0, 4, 8};
+    batch.instr[0].txEnd = 3;
+    batch.instr[0].lanes = 3;
+
+    c.coalesceBatch(batch);
+    EXPECT_DOUBLE_EQ(stats.get("coalesce_instructions"), 0.0);
+    EXPECT_DOUBLE_EQ(stats.get("coalesce_transactions"), 0.0);
+
+    // Consumption reports the same totals the scalar path would have.
+    c.noteConsumed(batch.instr[0].lanes, batch.instr[0].txEnd - batch.instr[0].txBegin);
+    EXPECT_DOUBLE_EQ(stats.get("coalesce_instructions"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("coalesce_transactions"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("coalesce_lanes_merged"), 2.0);
+}
+
 TEST(Scheduler, RoundRobinRotates)
 {
     WarpScheduler sched(SchedPolicy::RoundRobin, 4);

@@ -285,5 +285,108 @@ TEST(Generator, TracesAreByteIdenticalToPreOptimizationGoldens)
     }
 }
 
+TEST(Generator, SingleKindTracesMatchPreBatchGoldens)
+{
+    // Kind-level trace pinning for the batch pipeline: one golden per
+    // PatternKind in isolation, with divergence 1/4/8 covered explicitly
+    // (the benchmark-mix goldens above weight the kinds unevenly). The
+    // fingerprints were captured from the pre-batch scalar generator
+    // (60000 instructions, SM 3 of 15, 48 warps, seed 1, warp = i % 48);
+    // both the scalar path and nextBatch() consumption must land on them.
+    auto mk = [](const char *name, StreamSpec s) {
+        BenchmarkSpec b;
+        b.name = name;
+        b.apki = 60;
+        b.streams = {s};
+        return b;
+    };
+    StreamSpec st;
+    st.kind = PatternKind::Stream;
+    st.footprintLines = 1u << 18;
+    st.strideLines = 3;
+    st.writeProb = 0.3;
+    StreamSpec sh;
+    sh.kind = PatternKind::SharedReuse;
+    sh.footprintLines = 420;
+    StreamSpec ac;
+    ac.kind = PatternKind::PrivateAccum;
+    ac.footprintLines = 640;
+    ac.writeProb = 0.5;
+    StreamSpec ir;
+    ir.kind = PatternKind::RandomIrregular;
+    ir.footprintLines = 4096;
+    ir.divergence = 4;
+    ir.writeProb = 0.2;
+    StreamSpec ho;
+    ho.kind = PatternKind::HotWorkingSet;
+    ho.divergence = 4;
+    ho.clusterLines = 10;
+    ho.churnProb = 0.08;
+    ho.strideLines = 16;
+    ho.footprintLines = 1u << 21;
+    StreamSpec sc;
+    sc.kind = PatternKind::Stencil;
+    sc.footprintLines = 12288;
+    sc.writeProb = 0.2;
+    StreamSpec ir1 = ir;
+    ir1.divergence = 1;
+    StreamSpec ho8 = ho;
+    ho8.divergence = 8;
+
+    struct Golden
+    {
+        const char *label;
+        BenchmarkSpec spec;
+        std::uint64_t hash;
+    };
+    const Golden goldens[] = {
+        {"stream", mk("k-stream", st), 0x7752C14701F0CB4Eull},
+        {"shared-reuse", mk("k-shared", sh), 0x70FA39C56DA5EF18ull},
+        {"private-accum", mk("k-accum", ac), 0x8BF884ED50F7C628ull},
+        {"random-irregular-d4", mk("k-irr4", ir), 0xB2EBE1A83147C2A6ull},
+        {"random-irregular-d1", mk("k-irr1", ir1), 0xDBDB561EE650B0E7ull},
+        {"hot-working-set-d4", mk("k-hot4", ho), 0x63F85EF01DF456BAull},
+        {"hot-working-set-d8", mk("k-hot8", ho8), 0x46424344DD31D504ull},
+        {"stencil", mk("k-stencil", sc), 0x17D3E68C79990C04ull},
+    };
+    for (const Golden &golden : goldens) {
+        // Scalar reference path.
+        KernelGenerator gen(golden.spec, 3, 15, 48, 1);
+        std::uint64_t h = 0xCBF29CE484222325ull;
+        WarpInstruction instr;
+        for (int i = 0; i < 60000; ++i) {
+            gen.next(static_cast<WarpId>(i % 48), instr);
+            h = fnv1a(h, instr.isMem ? 1 : 0);
+            h = fnv1a(h, instr.type == AccessType::Write ? 1 : 0);
+            h = fnv1a(h, instr.pc);
+            h = fnv1a(h, instr.transactions.size());
+            for (Addr a : instr.transactions)
+                h = fnv1a(h, a);
+        }
+        EXPECT_EQ(h, golden.hash) << golden.label << " (scalar)";
+
+        // Batch path, consumed SM-style (per-warp batches refilled when
+        // exhausted; the trailing decoded-but-unpopped instructions are
+        // the over-generation and never reach the hash).
+        KernelGenerator bgen(golden.spec, 3, 15, 48, 1);
+        std::vector<InstructionBatch> batches(48);
+        std::uint64_t hb = 0xCBF29CE484222325ull;
+        for (int i = 0; i < 60000; ++i) {
+            const WarpId w = static_cast<WarpId>(i % 48);
+            InstructionBatch &b = batches[w];
+            if (b.exhausted())
+                bgen.nextBatch(w, b);
+            const std::uint32_t s = b.consumed++;
+            hb = fnv1a(hb, b.instr[s].isMem ? 1 : 0);
+            hb = fnv1a(hb, b.instr[s].type == AccessType::Write ? 1 : 0);
+            hb = fnv1a(hb, b.instr[s].pc);
+            hb = fnv1a(hb, b.instr[s].txEnd - b.instr[s].txBegin);
+            for (std::uint32_t t = b.instr[s].txBegin; t < b.instr[s].txEnd; ++t)
+                hb = fnv1a(hb, b.addrs[t]);
+        }
+        EXPECT_EQ(hb, golden.hash) << golden.label << " (batch)";
+    }
+}
+
 } // namespace
 } // namespace fuse
