@@ -1,0 +1,279 @@
+/**
+ * @file
+ * OrderGate: the determinism spine of the parallel in-run GPU engine.
+ *
+ * The serial next-event clock ticks the SMs due at a cycle in ascending
+ * SM-index order, so every call into the shared MemoryHierarchy happens
+ * at a unique position in the total order over (cycle, smId) keys. The
+ * parallel engine lets each SM run ahead independently — per-SM state
+ * (L1D, MSHR, coalescer, generator, RNG, scheduler, stats) is private to
+ * the owning worker — and uses this gate to admit hierarchy calls in
+ * exactly that serial total order:
+ *
+ *  - Each SM owns a published slot holding its current-or-next tick
+ *    cycle (kNever once it will never tick again). Workers publish with
+ *    release after completing each tick, so an admitted caller's acquire
+ *    spin establishes happens-before over every hierarchy mutation made
+ *    by earlier (cycle, smId) keys.
+ *  - admit(i) blocks SM i's hierarchy call at its current cycle t until
+ *    every other SM j has published a key (c_j, j) lexicographically
+ *    greater than (t, i) — i.e. until everything the serial clock would
+ *    have run first has finished. The minimal live key is always
+ *    admissible, so the protocol is deadlock-free.
+ *  - Done SMs whose L1D still drains (writebacks touch the hierarchy)
+ *    must stop exactly where the serial loop breaks: at the last done
+ *    transition cycle. awaitDrainTick() grants a drain tick at cycle t
+ *    only once it can prove the serial loop reaches t (a done transition
+ *    at >= t already recorded, or a live witness SM that must either
+ *    become done at >= t or run to the safety cap).
+ *
+ * Results are byte-identical to the serial engine for every worker
+ * count, because ordering depends only on (cycle, smId) keys — never on
+ * thread scheduling.
+ */
+
+#ifndef FUSE_COMMON_ORDER_GATE_HH
+#define FUSE_COMMON_ORDER_GATE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fuse
+{
+
+class OrderGate
+{
+  public:
+    /** Published by an SM that will never tick again. */
+    static constexpr Cycle kNever = ~Cycle(0);
+
+    explicit OrderGate(std::size_t num_sms)
+        : slots_(num_sms), lastAdmitted_(num_sms, kNever), n_(num_sms)
+    {
+    }
+
+    /** SM @p i finished its tick; its next tick is at @p next_cycle. */
+    void publish(std::size_t i, Cycle next_cycle)
+    {
+        slots_[i].cycle.store(next_cycle, std::memory_order_release);
+    }
+
+    /** SM @p i will never tick again (drained, or past the cycle cap).
+     *  A capped SM keeps done == false: it is the permanent witness that
+     *  lets drain ticks run to the cap, exactly like the serial loop. */
+    void finish(std::size_t i)
+    {
+        slots_[i].cycle.store(kNever, std::memory_order_release);
+    }
+
+    /**
+     * Record SM @p i's done transition at tick cycle @p at. Must be
+     * called after the tick and BEFORE publishing the next cycle: the
+     * witness rule in awaitDrainTick() relies on the done flag being
+     * visible to anyone who acquires a later published cycle.
+     */
+    void markDone(std::size_t i, Cycle at)
+    {
+        Cycle cur = doneMax_.load(std::memory_order_relaxed);
+        while (cur < at
+               && !doneMax_.compare_exchange_weak(
+                   cur, at, std::memory_order_relaxed)) {
+        }
+        // acq_rel: a reader that acquires doneCount_ == n sees every
+        // doneMax_ update ordered before the increments — doneMax_ is
+        // final once all SMs are done.
+        doneCount_.fetch_add(1, std::memory_order_acq_rel);
+        slots_[i].done.store(true, std::memory_order_release);
+    }
+
+    /**
+     * Record that SM @p i's tick is about to run on the calling thread.
+     * This — not any id a request happens to carry — is the admission
+     * identity: the serial clock orders hierarchy calls by which SM's
+     * tick makes them, and model code may legitimately tag a request
+     * with a foreign port id (the FUSE tag-queue drain emits its L2
+     * writebacks on port 0 regardless of the draining SM).
+     */
+    void beginTick(std::size_t i) { tickingSm() = i; }
+
+    /** Admit a hierarchy call from the SM registered via beginTick(). */
+    void admit() { admit(tickingSm()); }
+
+    /**
+     * Admit SM @p i's hierarchy call at its current tick cycle (its own
+     * published slot value): spin until every other SM is provably past
+     * this (cycle, smId) key. Amortised O(1): one admission covers all of
+     * a tick's hierarchy calls, because other SMs can only move forward.
+     */
+    void admit(std::size_t i)
+    {
+        const Cycle t = slots_[i].cycle.load(std::memory_order_relaxed);
+        if (lastAdmitted_[i] == t)
+            return;
+        for (std::size_t j = 0; j < n_; ++j) {
+            if (j == i)
+                continue;
+            Backoff backoff;
+            for (;;) {
+                const Cycle c =
+                    slots_[j].cycle.load(std::memory_order_acquire);
+                if (c > t || (c == t && j > i))
+                    break;
+                backoff.step();
+                if (backoff.stuck())
+                    dumpStall("admit", i, t, j);
+            }
+        }
+        lastAdmitted_[i] = t;
+    }
+
+    /**
+     * May done SM @p i run an L1D drain tick at cycle @p t? The serial
+     * loop runs drain ticks only while it is still alive: until the last
+     * done transition (after which it breaks), or to the safety cap when
+     * some SM never finishes. Returns true once one of these holds:
+     *
+     *  1. a done transition at cycle >= t is already recorded, or
+     *  2. a witness exists — SM j published cycle >= t and was not done
+     *     at that publish (so j's own done transition, if any, happens
+     *     at >= t; a capped SM publishes kNever with done == false and
+     *     is a permanent witness).
+     *
+     * Returns false when all SMs are done and the last transition was
+     * before t: the serial loop broke before reaching t, so the drain
+     * tick must not run. The acquire-load of the cycle before the done
+     * flag is load-ordered; a false flag read therefore proves the
+     * transition did not precede that publish.
+     */
+    bool awaitDrainTick(std::size_t i, Cycle t)
+    {
+        Backoff backoff;
+        for (;;) {
+            if (doneMax_.load(std::memory_order_acquire) >= t)
+                return true;
+            if (doneCount_.load(std::memory_order_acquire) == n_)
+                return doneMax_.load(std::memory_order_relaxed) >= t;
+            for (std::size_t j = 0; j < n_; ++j) {
+                if (j == i)
+                    continue;
+                const Cycle c =
+                    slots_[j].cycle.load(std::memory_order_acquire);
+                if (c >= t
+                    && !slots_[j].done.load(std::memory_order_acquire))
+                    return true;
+            }
+            backoff.step();
+            if (backoff.stuck())
+                dumpStall("awaitDrainTick", i, t, ~std::size_t(0));
+        }
+    }
+
+    /** Final after join (or once doneCount() == size()). */
+    Cycle doneMax() const
+    {
+        return doneMax_.load(std::memory_order_acquire);
+    }
+
+    std::size_t doneCount() const
+    {
+        return doneCount_.load(std::memory_order_acquire);
+    }
+
+    std::size_t size() const { return n_; }
+
+  private:
+    /** One cache line per SM: the slots are the only cross-thread
+     *  traffic on the hot path, so they must not false-share. */
+    struct alignas(64) Slot
+    {
+        std::atomic<Cycle> cycle{0};
+        std::atomic<bool> done{false};
+    };
+
+    /**
+     * Spin briefly, then hand the core back. The yield escalation is a
+     * liveness requirement, not a tuning nicety: with more workers than
+     * hardware threads (the extreme being a single-core host), the SM
+     * holding the minimal (cycle, smId) key may be owned by a descheduled
+     * thread, and a pure pause-spin would burn the waiter's whole
+     * scheduler quantum before that owner can run.
+     */
+    struct Backoff
+    {
+        void step()
+        {
+            if (spins_ < kSpinLimit) {
+                ++spins_;
+#if defined(__x86_64__) || defined(__i386__)
+                __builtin_ia32_pause();
+#elif defined(__aarch64__)
+                asm volatile("yield");
+#endif
+            } else {
+                std::this_thread::yield();
+            }
+        }
+
+        /** True once every ~32M steps — hook for stall diagnostics. */
+        bool stuck()
+        {
+            return (++total_ & ((1u << 25) - 1)) == 0;
+        }
+
+        static constexpr unsigned kSpinLimit = 64;
+        unsigned spins_ = 0;
+        unsigned total_ = 0;
+    };
+
+    /** FUSE_GATE_DEBUG=1: dump the whole gate when a wait has spun for
+     *  ~32M steps — a protocol stall is a bug, and the slot snapshot is
+     *  the fastest way to see which rule is violated. */
+    void dumpStall(const char *where, std::size_t i, Cycle t,
+                   std::size_t waiting_on) const
+    {
+        static const bool enabled = std::getenv("FUSE_GATE_DEBUG");
+        if (!enabled)
+            return;
+        std::fprintf(stderr,
+                     "[gate] %s stalled: sm=%zu t=%llu on=%zd "
+                     "doneMax=%llu doneCount=%zu/%zu\n",
+                     where, i, static_cast<unsigned long long>(t),
+                     static_cast<ssize_t>(waiting_on),
+                     static_cast<unsigned long long>(
+                         doneMax_.load(std::memory_order_acquire)),
+                     doneCount_.load(std::memory_order_acquire), n_);
+        for (std::size_t j = 0; j < n_; ++j) {
+            std::fprintf(
+                stderr, "[gate]   slot[%zu] cycle=%llu done=%d\n", j,
+                static_cast<unsigned long long>(
+                    slots_[j].cycle.load(std::memory_order_acquire)),
+                static_cast<int>(
+                    slots_[j].done.load(std::memory_order_acquire)));
+        }
+    }
+
+    /** The SM whose tick runs on this thread (set by beginTick). */
+    static std::size_t &tickingSm()
+    {
+        static thread_local std::size_t sm = 0;
+        return sm;
+    }
+
+    std::vector<Slot> slots_;
+    /** Cycle of SM i's last granted admission; only the owning worker
+     *  touches entry i, so no atomicity is needed. */
+    std::vector<Cycle> lastAdmitted_;
+    std::atomic<Cycle> doneMax_{0};
+    std::atomic<std::size_t> doneCount_{0};
+    std::size_t n_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_COMMON_ORDER_GATE_HH

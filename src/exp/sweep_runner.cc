@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
@@ -63,6 +64,25 @@ defaultThreadCount()
     return hw > 0 ? hw : 1;
 }
 
+unsigned
+parseThreadCount(const char *flag, const char *value)
+{
+    if (!value || *value == '\0')
+        fuse_fatal("%s expects a positive integer", flag);
+    for (const char *p = value; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            fuse_fatal("%s expects a positive integer, got '%s'", flag,
+                       value);
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long n = std::strtoul(value, &end, 10);
+    if (errno != 0 || end == value || *end != '\0' || n == 0 || n > 4096)
+        fuse_fatal("%s expects an integer in [1, 4096], got '%s'", flag,
+                   value);
+    return static_cast<unsigned>(n);
+}
+
 SweepRunner::SweepRunner(unsigned threads)
     : threads_(threads > 0 ? threads : defaultThreadCount())
 {}
@@ -83,8 +103,11 @@ SweepRunner::run(const ExperimentSpec &spec, std::size_t shard_index,
     // workers then only read them.
     std::vector<SimConfig> configs;
     configs.reserve(spec.variantCount());
-    for (std::size_t v = 0; v < spec.variantCount(); ++v)
+    for (std::size_t v = 0; v < spec.variantCount(); ++v) {
         configs.push_back(spec.configFor(v));
+        if (runThreads_ > 0)
+            configs.back().gpu.runThreads = runThreads_;
+    }
 
     // This shard's slice of the flat grid (everything when unsharded).
     std::vector<std::size_t> cells;

@@ -11,6 +11,7 @@
 #define FUSE_EXP_SWEEP_RUNNER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "exp/experiment.hh"
@@ -30,6 +31,15 @@ void parallelFor(std::size_t n, unsigned threads,
 /** Worker count from FUSE_THREADS, else std::thread::hardware_concurrency. */
 unsigned defaultThreadCount();
 
+/**
+ * Strict CLI thread-count parsing shared by fuse_bench / fuse_sweep /
+ * the figure binaries: the whole string must be a decimal integer in
+ * [1, 4096]. Zero, negatives, and garbage are user errors — fatal with
+ * a message naming @p flag instead of silently clamping (strtoul alone
+ * happily wraps "-1" into a huge count).
+ */
+unsigned parseThreadCount(const char *flag, const char *value);
+
 class SweepRunner
 {
   public:
@@ -37,6 +47,20 @@ class SweepRunner
     explicit SweepRunner(unsigned threads = 0);
 
     unsigned threads() const { return threads_; }
+
+    /**
+     * Worker threads ticking SMs INSIDE each simulation (GpuConfig::
+     * runThreads), orthogonal to the sweep-level pool: sweep threads
+     * decide which cells run concurrently, run threads parallelise one
+     * cell's GPU. 0 leaves the spec's configuration untouched (the
+     * serial engine); any value is safe — results are byte-identical at
+     * every thread count.
+     */
+    void setRunThreads(std::uint32_t run_threads)
+    {
+        runThreads_ = run_threads;
+    }
+    std::uint32_t runThreads() const { return runThreads_; }
 
     /** Called after each finished run with (result, done, total). May be
      *  invoked from any worker; calls are serialised internally. */
@@ -58,6 +82,7 @@ class SweepRunner
 
   private:
     unsigned threads_ = 1;
+    std::uint32_t runThreads_ = 0;
     Progress progress_;
 };
 

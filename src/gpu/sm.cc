@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/prof.hh"
+
 namespace fuse
 {
 
@@ -35,9 +37,20 @@ Sm::issueWarp(std::uint32_t w, Cycle now)
         // from the generator + coalescer when it runs dry: one refill
         // hands the issue path kCapacity pre-coalesced instructions.
         if (batch.exhausted()) {
-            kernel_->nextBatch(w, batch);
+            // Clamp decode-ahead to the SM's remaining budget so the
+            // run's tail generates no instruction nobody will issue.
+            // (In-flight popped instructions of other warps make this
+            // bound slightly loose; exactness comes from counting at
+            // the pop, the bound only trims generator work.)
+            kernel_->nextBatch(w, batch,
+                               config_.instructionBudget
+                                   - instructionsIssued_);
             coalescer_.coalesceBatch(batch);
         }
+        // One count per consumed instruction — exactly the scalar
+        // engine's one next() per begun instruction, independent of how
+        // far the batch frontend decodes ahead.
+        FUSE_PROF_COUNT(workload, instructions);
         warp.cur = batch.consumed++;
         warp.hasPending = true;
         const InstructionBatch::Decoded &popped = batch.instr[warp.cur];

@@ -1,5 +1,6 @@
 #include "workload/generator.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hh"
@@ -175,7 +176,8 @@ KernelGenerator::next(WarpId warp, WarpInstruction &instr)
 
 std::uint64_t
 KernelGenerator::appendTransactions(WarpState &state, WarpId warp,
-                                    std::uint32_t s, std::vector<Addr> &out)
+                                    std::uint32_t s, std::vector<Addr> &out,
+                                    std::uint64_t remaining)
 {
     const StreamSpec &stream = spec_->streams[s];
     const WarpId global_warp = sm_ * warpsPerSm_ + warp;
@@ -192,15 +194,23 @@ KernelGenerator::appendTransactions(WarpState &state, WarpId warp,
 
     StreamQueue &q = state.queues[s];
     if (q.head == q.lines.size()) {
-        // Refill: one amortised cursor call per kPrefetch instructions.
-        // Only SharedReuse's first-ever refill draws RNG (its start
-        // offset), and that refill is triggered by the stream's first
-        // decoded instruction — the same draw point as the scalar path.
+        // Refill: one amortised cursor call per up-to-kPrefetch
+        // instructions, clamped to the instructions the SM can still
+        // decode — every queue entry costs a consumed instruction, so
+        // prefetching past the remaining budget would generate
+        // addresses nobody can ever pop (PR 7's bounded run-end
+        // over-generation). Only SharedReuse's first-ever refill draws
+        // RNG (its start offset), and that refill is triggered by the
+        // stream's first decoded instruction — the same draw point as
+        // the scalar path.
+        const auto count = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(kPrefetch, std::max<std::uint64_t>(
+                                                   remaining, 1)));
         q.lines.clear();
         q.head = 0;
         q.basePos = state.cursors[s].position();
         state.cursors[s].generateBatch(stream, streamBases_[s], global_warp,
-                                       total_warps, state.rng, kPrefetch,
+                                       total_warps, state.rng, count,
                                        q.lines);
     }
     out.push_back(q.lines[q.head++]);
@@ -210,11 +220,20 @@ KernelGenerator::appendTransactions(WarpState &state, WarpId warp,
 }
 
 void
-KernelGenerator::nextBatch(WarpId warp, InstructionBatch &out)
+KernelGenerator::nextBatch(WarpId warp, InstructionBatch &out,
+                           std::uint64_t max_instructions)
 {
     WarpState &state = warps_[warp];
     out.clear();
-    while (out.size < InstructionBatch::kCapacity) {
+    // Decode-ahead clamp: never pre-decode past what the SM can still
+    // issue. The caller guarantees at least one instruction is wanted.
+    const std::uint32_t target = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(InstructionBatch::kCapacity,
+                                std::max<std::uint64_t>(max_instructions,
+                                                        1)));
+    while (out.size < target) {
+        // Instructions still to decode, the current slot included.
+        const std::uint64_t remaining = max_instructions - out.size;
         InstructionBatch::Decoded &d = out.instr[out.size];
         d.isMem = false;
         d.type = AccessType::Read;
@@ -230,7 +249,7 @@ KernelGenerator::nextBatch(WarpId warp, InstructionBatch &out)
             d.isMem = true;
             d.type = is_write ? AccessType::Write : AccessType::Read;
             d.pc = streamPc(s, is_write);
-            appendTransactions(state, warp, s, out.addrs);
+            appendTransactions(state, warp, s, out.addrs, remaining);
         } else if (state.instructionsUntilMem > 0) {
             --state.instructionsUntilMem;
             d.pc = kPcBase - 4;  // generic compute PC
@@ -246,7 +265,7 @@ KernelGenerator::nextBatch(WarpId warp, InstructionBatch &out)
                 // draw says "update": load now, store next instruction.
                 d.type = AccessType::Read;
                 d.pc = streamPc(s, /*write_half=*/false);
-                appendTransactions(state, warp, s, out.addrs);
+                appendTransactions(state, warp, s, out.addrs, remaining);
                 if (is_write) {
                     state.pendingStream = static_cast<std::int32_t>(s);
                     state.pendingIsWrite = true;
@@ -255,7 +274,8 @@ KernelGenerator::nextBatch(WarpId warp, InstructionBatch &out)
                 d.type = is_write ? AccessType::Write : AccessType::Read;
                 d.pc = streamPc(s, is_write);
                 const std::uint64_t pos =
-                    appendTransactions(state, warp, s, out.addrs);
+                    appendTransactions(state, warp, s, out.addrs,
+                                       remaining);
                 // Shared structures are touched twice back-to-back: the
                 // queue-tracked position supplies the pair parity the
                 // scalar path reads off the cursor.
@@ -270,7 +290,9 @@ KernelGenerator::nextBatch(WarpId warp, InstructionBatch &out)
         d.lanes = static_cast<std::uint16_t>(d.txEnd - d.txBegin);
         ++out.size;
     }
-    FUSE_PROF_ADD(workload, instructions, out.size);
+    // workload/instructions is counted where instructions are consumed
+    // (the SM's batch pop and the scalar next()), not here: counting
+    // decoded-ahead instructions over-reported the run-end tail.
 }
 
 } // namespace fuse

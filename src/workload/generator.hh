@@ -62,8 +62,17 @@ class KernelGenerator
      * A given warp must be driven through either next() or nextBatch(),
      * not both: the scalar path bypasses the prefetch queues, so mixing
      * the APIs on one warp would skip buffered addresses.
+     *
+     * @p max_instructions bounds decode-ahead at the end of the run: the
+     * batch is clamped to min(kCapacity, max_instructions) instructions
+     * and stream-queue refills to min(kPrefetch, still-undecoded), so an
+     * SM about to retire its budget no longer generates addresses nobody
+     * will consume. Clamping is trace-safe — the decoded stream is a
+     * pure function of per-warp cursor/RNG state, and refill boundaries
+     * change neither content nor draw order — it only trims work.
      */
-    void nextBatch(WarpId warp, InstructionBatch &out);
+    void nextBatch(WarpId warp, InstructionBatch &out,
+                   std::uint64_t max_instructions = ~std::uint64_t(0));
 
     const BenchmarkSpec &spec() const { return *spec_; }
 
@@ -113,14 +122,16 @@ class KernelGenerator
 
     /**
      * Append stream @p s's next generate-equivalent for @p warp to
-     * @p out (queue pop for RNG-free kinds, refilling kPrefetch at a
-     * time; direct cursor call at the decode point otherwise). Returns
-     * the cursor position AFTER the consumed equivalent — the
-     * shared-reuse pair parity the decode loop keys on.
+     * @p out (queue pop for RNG-free kinds, refilling up to kPrefetch at
+     * a time, clamped to @p remaining still-undecoded instructions;
+     * direct cursor call at the decode point otherwise). Returns the
+     * cursor position AFTER the consumed equivalent — the shared-reuse
+     * pair parity the decode loop keys on.
      */
     std::uint64_t appendTransactions(WarpState &state, WarpId warp,
                                      std::uint32_t s,
-                                     std::vector<Addr> &out);
+                                     std::vector<Addr> &out,
+                                     std::uint64_t remaining);
 
     std::uint32_t pickStream(WarpState &state);
     std::uint64_t computeGap(WarpState &state);

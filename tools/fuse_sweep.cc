@@ -51,8 +51,12 @@ usage()
         "  --spec FILE       run an ExperimentSpec file ('-' = stdin)\n"
         "  --benchmarks LIST restrict to a comma-separated workload list\n"
         "  --kinds LIST      override the L1D kinds (spec mode)\n"
-        "  --threads N       worker threads (default: FUSE_THREADS or\n"
-        "                    all cores)\n"
+        "  --threads N       sweep worker threads, N >= 1 (default:\n"
+        "                    FUSE_THREADS or all cores)\n"
+        "  --run-threads N   threads ticking SMs inside each simulation,\n"
+        "                    N >= 1; results are byte-identical at every\n"
+        "                    value (1 = the serial reference engine,\n"
+        "                    also the default)\n"
         "  --shard I/N       run only grid cells I (1-based) of N: fan a\n"
         "                    campaign across machines, export each shard,\n"
         "                    merge offline (cells are seeded from the\n"
@@ -257,6 +261,7 @@ main(int argc, char **argv)
     std::string csv_path;
     std::string profile_path;
     unsigned threads = 0;
+    unsigned run_threads = 0;
     std::size_t shard_index = 0;
     std::size_t shard_count = 1;
     bool quiet = false;
@@ -286,13 +291,10 @@ main(int argc, char **argv)
         } else if (arg == "--kinds") {
             kinds = value();
         } else if (arg == "--threads") {
-            const std::string text = value();
-            char *end = nullptr;
-            threads = static_cast<unsigned>(
-                std::strtoul(text.c_str(), &end, 10));
-            if (end == text.c_str() || *end != '\0')
-                fuse_fatal("--threads needs a number, got '%s'",
-                           text.c_str());
+            threads = fuse::parseThreadCount("--threads", value().c_str());
+        } else if (arg == "--run-threads") {
+            run_threads =
+                fuse::parseThreadCount("--run-threads", value().c_str());
         } else if (arg == "--shard") {
             const std::string text = value();
             char *end = nullptr;
@@ -414,6 +416,7 @@ main(int argc, char **argv)
     }
 
     fuse::SweepRunner runner(threads);
+    runner.setRunThreads(run_threads);
     if (spec.runCount() > 0) {
         if (shard_count > 1)
             std::fprintf(stderr, "%s: shard %zu/%zu of %zu runs on %u "
