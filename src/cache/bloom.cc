@@ -1,22 +1,10 @@
 #include "cache/bloom.hh"
 
+#include "common/bitops.hh"
 #include "common/log.hh"
 
 namespace fuse
 {
-
-namespace
-{
-/** Strong 64-bit mixer (SplitMix64 finaliser) salted per hash function. */
-std::uint64_t
-mix(std::uint64_t key, std::uint64_t salt)
-{
-    std::uint64_t z = key + salt * 0x9E3779B97F4A7C15ull;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    return z ^ (z >> 31);
-}
-} // namespace
 
 CountingBloomFilter::CountingBloomFilter(std::uint32_t num_slots,
                                          std::uint32_t num_hashes,
@@ -38,7 +26,7 @@ CountingBloomFilter::CountingBloomFilter(std::uint32_t num_slots,
 std::uint32_t
 CountingBloomFilter::slotOf(std::uint64_t key, std::uint32_t hash_id) const
 {
-    const std::uint64_t h = mix(key, hash_id + 1);
+    const std::uint64_t h = hashMix64(key, hash_id + 1);
     if (slotMask_)
         return static_cast<std::uint32_t>(h & slotMask_);
     return static_cast<std::uint32_t>(h % numSlots_);

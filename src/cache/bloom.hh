@@ -2,8 +2,28 @@
  * @file
  * Counting Bloom filter (CBF) with configurable hash-function count, slot
  * count, and counter width — the building block of FUSE's associativity
- * approximation (§III-B, §IV-C). Counters saturate rather than overflow so a
- * full counter never produces a false negative.
+ * approximation (§III-B, §IV-C) and the Counting fallback mode of the
+ * presence-summary layer (cache/presence.hh).
+ *
+ * Saturation semantics (the never-false-negative contract, audited for
+ * the presence-filter work and regression-tested in tests/test_bloom.cc):
+ *
+ *  - insert() at a counter already at max does NOT wrap: the counter
+ *    stays pinned at max and the event is tallied in saturations().
+ *  - remove() at a counter at max does NOT decrement: once saturated,
+ *    the filter no longer knows how many members share the slot, so
+ *    decrementing could take it to a value that later reaches zero while
+ *    members still map there — a false negative. The counter stays
+ *    pinned forever (until clear()); the cost is only false positives.
+ *  - remove() at a counter at zero is a no-op (defensive; callers must
+ *    only remove keys they actually inserted — removing a never-inserted
+ *    key whose slots are all unsaturated WOULD decrement counters owned
+ *    by other members and can manufacture a false negative. Every caller
+ *    in the repo removes only tracked members).
+ *
+ * Consequently test() == false ("definitely absent") remains
+ * authoritative for any discipline that only removes tracked members,
+ * even after arbitrary saturation churn.
  */
 
 #ifndef FUSE_CACHE_BLOOM_HH
@@ -34,10 +54,14 @@ class CountingBloomFilter
     CountingBloomFilter(std::uint32_t num_slots, std::uint32_t num_hashes,
                         std::uint32_t counter_bits = 2);
 
-    /** increment: add @p key to the set. */
+    /** increment: add @p key to the set. Counters pin at max (see the
+     *  file comment); each pinned increment counts one saturation(). */
     void insert(std::uint64_t key);
 
-    /** decrement: remove one occurrence of @p key. */
+    /** decrement: remove one occurrence of @p key. Saturated counters
+     *  are never decremented (pinned — false positives only, never a
+     *  false negative). Pre-condition: @p key was inserted and not yet
+     *  removed; unbalanced removes can corrupt other members' counters. */
     void remove(std::uint64_t key);
 
     /** test: false = definitely absent; true = probably present. */

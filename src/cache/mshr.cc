@@ -6,7 +6,7 @@ namespace fuse
 {
 
 Mshr::Mshr(std::uint32_t num_entries, StatGroup *stats)
-    : capacity_(num_entries), entries_(num_entries)
+    : capacity_(num_entries), entries_(num_entries), presence_(num_entries)
 {
     ready_.reserve(std::size_t(num_entries) * 2);
     if (stats) {
@@ -33,7 +33,10 @@ Mshr::popReady()
 MshrResult
 Mshr::access(Addr line_addr, Cycle ready_at, BankId destination)
 {
-    if (MshrEntry *entry = entries_.find(line_addr)) {
+    MshrEntry *entry = presence_.mayContain(line_addr)
+                           ? entries_.find(line_addr)
+                           : nullptr;
+    if (entry) {
         ++entry->mergedCount;
         FUSE_PROF_COUNT(mshr, merges);
         if (statMerged_)
@@ -56,6 +59,8 @@ Mshr::allocate(Addr line_addr, Cycle ready_at, BankId destination)
     entry->lineAddr = line_addr;
     entry->readyAt = ready_at;
     entry->destination = destination;
+    presence_.insert(line_addr);
+    FUSE_PROF_COUNT(mshr, filter_inserts);
     pushReady(ready_at, line_addr);
     if (ready_at < minReadyAt_)
         minReadyAt_ = ready_at;
@@ -77,7 +82,7 @@ Mshr::retireReadySlow(Cycle now)
         const MshrEntry *entry = entries_.find(line);
         if (entry && entry->readyAt <= now) {
             FUSE_PROF_COUNT(mshr, retirements);
-            entries_.erase(line);
+            eraseEntry(line);
         }
     }
     // Skim stale leftovers off the top so the cached minimum is the exact

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/presence.hh"
 #include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -81,16 +82,24 @@ class Mshr
      */
     MshrEntry *allocate(Addr line_addr, Cycle ready_at, BankId destination);
 
-    /** Look up an in-flight entry. */
+    /**
+     * Look up an in-flight entry. The presence summary answers most
+     * absence-proving probes without touching the entry file: map
+     * consults = mshr/probes - mshr/filter_skips in the profile.
+     */
     MshrEntry *find(Addr line_addr)
     {
         FUSE_PROF_COUNT(mshr, probes);
+        if (!presence_.mayContain(line_addr)) {
+            FUSE_PROF_COUNT(mshr, filter_skips);
+            return nullptr;
+        }
         return entries_.find(line_addr);
     }
 
     /** Remove the entry for @p line_addr (fill applied). Its ready-queue
      *  record is invalidated lazily on pop. */
-    void retire(Addr line_addr) { entries_.erase(line_addr); }
+    void retire(Addr line_addr) { eraseEntry(line_addr); }
 
     /** Free every entry whose readyAt <= now (bulk lazy cleanup).
      *  O(1) when nothing is ready yet (guarded by a cached minimum),
@@ -115,6 +124,7 @@ class Mshr
     void clear()
     {
         entries_.clear();
+        presence_.clear();
         ready_.clear();
         // minReadyAt_ is deliberately left as-is: it is a lower bound, and
         // the historical implementation kept it across clear() too.
@@ -147,8 +157,23 @@ class Mshr
     void pushReady(Cycle ready_at, Addr line_addr);
     void popReady();
 
+    /** Erase @p line_addr from the entry file and keep the presence
+     *  summary in lockstep (the only erase path besides clear()). */
+    bool eraseEntry(Addr line_addr)
+    {
+        if (!entries_.erase(line_addr))
+            return false;
+        presence_.remove(line_addr);
+        FUSE_PROF_COUNT(mshr, filter_removes);
+        return true;
+    }
+
     std::uint32_t capacity_;
     FlatAddrMap<MshrEntry> entries_;
+    /** Exact membership summary over entries_ (u16 counters: an MSHR
+     *  file is tens of entries, far under the exact-mode bound), updated
+     *  by allocate()/eraseEntry()/clear() only. */
+    PresenceSummary presence_;
     /** Binary min-heap on readyAt over every live allocation (plus lazily
      *  discarded stale records). */
     std::vector<ReadyRec> ready_;

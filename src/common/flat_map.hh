@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/types.hh"
 
 namespace fuse
@@ -132,19 +133,11 @@ class FlatAddrMap
         bool used = false;
     };
 
-    /** SplitMix64 finaliser: line addresses are highly regular (strided,
-     *  region-based), so a strong mix keeps probe chains short. */
-    static std::uint64_t mix(Addr key)
-    {
-        std::uint64_t z = key + 0x9E3779B97F4A7C15ull;
-        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-        return z ^ (z >> 31);
-    }
-
     std::size_t home(Addr key) const
     {
-        return static_cast<std::size_t>(mix(key)) & mask_;
+        // hashMix64 at salt 1 is bit-identical to the SplitMix64
+        // finaliser this map always used (key + 1 * golden-gamma).
+        return static_cast<std::size_t>(hashMix64(key, 1)) & mask_;
     }
 
     std::size_t next(std::size_t i) const { return (i + 1) & mask_; }

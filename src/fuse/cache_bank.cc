@@ -10,6 +10,8 @@ CacheBank::CacheBank(const BankConfig &config, std::string stat_name)
       tags_(config.numSets, config.numWays, config.policy),
       stats_(std::move(stat_name))
 {
+    if (config.presenceFilter)
+        presence_ = std::make_unique<PresenceSummary>(tags_.numLines());
     statReads_ = &stats_.scalar("array_reads");
     statWrites_ = &stats_.scalar("array_writes");
     statFills_ = &stats_.scalar("fills");
@@ -81,6 +83,19 @@ CacheBank::fillAt(const TagArray::Probe &p, Addr line_addr, AccessType type,
 
     CacheLine *slot = nullptr;
     auto eviction = tags_.fillAt(p, line_addr, now, &slot);
+    if (presence_) {
+        // A hit probe degenerates to a recency touch (no membership
+        // change); a miss probe inserts line_addr and may displace the
+        // victim — mirror both transitions exactly.
+        if (!p.hit()) {
+            presence_->insert(line_addr);
+            FUSE_PROF_COUNT(l1d_sram, filter_inserts);
+        }
+        if (eviction) {
+            presence_->remove(eviction->line.tag);
+            FUSE_PROF_COUNT(l1d_sram, filter_removes);
+        }
+    }
     if (slot) {
         if (type == AccessType::Write) {
             slot->dirty = true;
@@ -109,6 +124,9 @@ makeSramBankConfig(std::uint32_t size_bytes, std::uint32_t ways,
     c.policy = policy;
     c.readLatency = 1;
     c.writeLatency = 1;
+    // SRAM banks sit on the demand hot path of every organisation and
+    // their geometries are small enough for exact counters — gate them.
+    c.presenceFilter = true;
     return c;
 }
 

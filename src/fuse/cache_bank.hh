@@ -11,9 +11,11 @@
 #define FUSE_FUSE_CACHE_BANK_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "cache/presence.hh"
 #include "cache/tag_array.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -35,6 +37,10 @@ struct BankConfig
     ReplPolicy policy = ReplPolicy::LRU;
     std::uint32_t readLatency = 1;
     std::uint32_t writeLatency = 1;   ///< 5 for STT-MRAM (Table I).
+    /** Maintain an exact presence summary over the tag array so
+     *  definite-miss demand lookups skip the tag search (SRAM banks; the
+     *  STT partition already has the NVM-CBF gate in assoc_approx). */
+    bool presenceFilter = false;
 };
 
 /**
@@ -67,9 +73,26 @@ class CacheBank
      * returned probe threads through accessAt/fillAt/invalidateAt so one
      * L1D transaction pays exactly one tag search per bank; it stays
      * valid until the next fill/invalidate on this bank.
+     *
+     * Filtered banks consult the presence summary first: on a definite
+     * miss the tag search is skipped and the returned miss probe carries
+     * only the set index — exactly what lookup() would have produced
+     * (Probe::slot is valid only on a hit), so downstream behaviour and
+     * every output stay byte-identical. l1d_bank/demand_resolutions
+     * counts only actual tag consults; l1d_sram/filter_skips counts the
+     * elided ones.
      */
     TagArray::Probe lookup(Addr line_addr) const
     {
+        if (presence_) {
+            FUSE_PROF_COUNT(l1d_sram, lookups);
+            if (!presence_->mayContain(line_addr)) {
+                FUSE_PROF_COUNT(l1d_sram, filter_skips);
+                TagArray::Probe miss;
+                miss.set = tags_.setIndex(line_addr);
+                return miss;
+            }
+        }
         FUSE_PROF_COUNT(l1d_bank, demand_resolutions);
         return tags_.lookup(line_addr);
     }
@@ -87,8 +110,7 @@ class CacheBank
     CacheLine *access(Addr line_addr, AccessType type, Cycle now,
                       Cycle *done)
     {
-        FUSE_PROF_COUNT(l1d_bank, demand_resolutions);
-        return accessAt(tags_.lookup(line_addr), type, now, done);
+        return accessAt(lookup(line_addr), type, now, done);
     }
 
     /** Untimed lookup (tag-only peek; no array occupancy). */
@@ -128,14 +150,19 @@ class CacheBank
     /** Invalidate behind a resolved probe (tag-only operation). */
     std::optional<CacheLine> invalidateAt(const TagArray::Probe &p)
     {
-        return tags_.invalidateAt(p);
+        std::optional<CacheLine> removed = tags_.invalidateAt(p);
+        if (presence_ && removed) {
+            presence_->remove(removed->tag);
+            FUSE_PROF_COUNT(l1d_sram, filter_removes);
+        }
+        return removed;
     }
 
     /** Invalidate without array occupancy (tag-only operation). */
     std::optional<CacheLine> invalidate(Addr line_addr)
     {
         FUSE_PROF_COUNT(l1d_bank, invalidate_resolutions);
-        return tags_.invalidate(line_addr);
+        return invalidateAt(tags_.lookup(line_addr));
     }
 
     TagArray &tags() { return tags_; }
@@ -161,6 +188,10 @@ class CacheBank
 
     BankConfig config_;
     TagArray tags_;
+    /** Exact residency summary over tags_ (filtered banks only; null
+     *  otherwise), maintained by fillAt/invalidateAt — the only paths
+     *  that change this bank's membership. */
+    std::unique_ptr<PresenceSummary> presence_;
     Cycle busyUntil_ = 0;
     Cycle fillBusyUntil_ = 0;
     StatGroup stats_;

@@ -106,6 +106,10 @@ HybridL1D::migrateToStt(const CacheLine &victim, SmId sm, Cycle now)
 
     // FUSE path: park the line in the swap buffer and queue an "F"
     // migration command; the drain happens in tick() when the bank frees.
+    // The victim is already out of the SRAM tag array (and thus out of
+    // the bank's presence summary — fillAt removed both in one step), so
+    // while parked it is serviced by the snoop path, never by an SRAM
+    // tag search: the summary needs no transition here to stay exact.
     if (swapBuffer_.full() || tagQueue_.full()) {
         ++(*statStallStt_);
         return false;
@@ -381,7 +385,14 @@ HybridL1D::access(const MemRequest &req, Cycle now)
     // SRAM tag search runs in parallel with the STT side; an SRAM hit
     // terminates the STT search (arbitration, Fig. 9). This lookup is
     // the request's one and only SRAM residency resolution: the probe
-    // also serves the fill/migration handlers downstream.
+    // also serves the fill/migration handlers downstream. The bank's
+    // presence summary (cache/presence.hh) may elide the tag search on
+    // a definite miss — safe precisely because every SRAM membership
+    // transition of this organisation goes through sram_.fillAt /
+    // invalidateAt (swap-buffer parks happen on lines fillAt already
+    // evicted), so the summary is exact and a negative is authoritative.
+    // The swap-buffer snoop below still runs on elided misses: parked
+    // lines are outside the tag array by construction, summary or not.
     const TagArray::Probe sram_probe = sram_.lookup(line);
     Cycle done = 0;
     if (sram_.accessAt(sram_probe, req.type, now, &done)) {

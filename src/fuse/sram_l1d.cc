@@ -60,7 +60,10 @@ SramL1D::access(const MemRequest &req, Cycle now)
 
     // The request's one residency resolution: the probe serves the hit
     // path and, on a miss, the eager fill below (nothing between the two
-    // mutates the bank).
+    // mutates the bank). Both consults above are presence-gated: the
+    // MSHR find and this lookup each skip their structure entirely when
+    // the exact summary (cache/presence.hh) proves the line absent —
+    // the common case for a streaming miss.
     const TagArray::Probe probe = bank_.lookup(line);
     Cycle done = 0;
     if (bank_.accessAt(probe, req.type, now, &done)) {

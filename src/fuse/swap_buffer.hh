@@ -7,6 +7,15 @@
  * STT-MRAM write latency. Reads snoop the buffer (the data is immediately
  * available from it), which together with the FIFO tag queue provides
  * coherence without extra comparator ports.
+ *
+ * Presence-filter interaction (cache/presence.hh): a parked line is by
+ * construction absent from the SRAM tag array — CacheBank::fillAt evicted
+ * it (and removed it from the bank's presence summary) before it got
+ * here. The summary therefore correctly reports it "definitely absent",
+ * and the snoop path — which runs after the (possibly filter-elided)
+ * SRAM lookup regardless of the probe's outcome — is what keeps the line
+ * readable mid-migration. No summary maintenance happens at park or
+ * release; only tag-array membership is summarised.
  */
 
 #ifndef FUSE_FUSE_SWAP_BUFFER_HH

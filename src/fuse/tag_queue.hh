@@ -6,6 +6,14 @@
  * migrations lives in the swap buffer. A mispredicted write-update on
  * STT-MRAM data carries 128B of payload the queue cannot hold, so it forces
  * a flush (the paper measures ~7% of requests hitting this path).
+ *
+ * Presence-filter interaction (cache/presence.hh): queue entries are
+ * meta-only — push, pop, and flush touch no tag array, so neither bank's
+ * membership (nor the SRAM bank's presence summary) changes until the
+ * drain in HybridL1D::tick() commits a Migrate via the STT bank's fillAt.
+ * That drain fills the unfiltered STT bank (the NVM-CBF gate covers that
+ * side); the SRAM summary changed once, at the eviction that parked the
+ * line, and needs no transition here.
  */
 
 #ifndef FUSE_FUSE_TAG_QUEUE_HH

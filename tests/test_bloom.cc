@@ -83,6 +83,72 @@ TEST(Bloom, SaturationNeverCausesFalseNegative)
         EXPECT_TRUE(cbf.test(k)) << k;
 }
 
+// --- Saturation-decrement semantics (audited for the presence-filter
+// --- layer, which leans on "test() == false is authoritative") ---------
+
+TEST(BloomSaturation, SaturatedCounterIsPinnedOnRemove)
+{
+    // One 2-bit counter shared by every key: four inserts saturate it.
+    CountingBloomFilter cbf(1, 1, 2);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        cbf.insert(k);
+    EXPECT_EQ(cbf.saturations(), 1u);
+
+    // Removing members must NOT decrement the pinned counter: the filter
+    // lost count at saturation, and any decrement could zero the slot
+    // while members remain — a false negative.
+    cbf.remove(0);
+    cbf.remove(1);
+    cbf.remove(2);
+    EXPECT_TRUE(cbf.test(3)) << "remaining member went false-negative";
+
+    // Even after the last member leaves, the residue stays (a false
+    // positive, the documented cost of pinning) until clear().
+    cbf.remove(3);
+    EXPECT_TRUE(cbf.test(99)) << "pinned residue should read positive";
+    cbf.clear();
+    EXPECT_FALSE(cbf.test(99));
+}
+
+TEST(BloomSaturation, RemoveOnZeroCounterIsNoOp)
+{
+    // A remove against an empty filter must not wrap counters to max
+    // (which would read as a permanent phantom member).
+    CountingBloomFilter cbf(8, 2, 4);
+    cbf.remove(5);
+    EXPECT_FALSE(cbf.test(5));
+    cbf.insert(5);
+    EXPECT_TRUE(cbf.test(5));
+    cbf.remove(5);
+    EXPECT_FALSE(cbf.test(5)) << "underflow left a phantom count";
+}
+
+TEST(BloomSaturation, PinnedCounterSurvivesInsertRemoveChurn)
+{
+    // Adversarial load: 2 slots, 1 hash, 2-bit counters — saturation is
+    // constant and removes hit pinned counters continuously. Every live
+    // member must test positive after every operation.
+    CountingBloomFilter cbf(2, 1, 2);
+    std::unordered_set<std::uint64_t> truth;
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t key = rng.below(64);
+        if (rng.uniform() < 0.5) {
+            if (!truth.count(key)) {
+                cbf.insert(key);
+                truth.insert(key);
+            }
+        } else if (!truth.empty()) {
+            std::uint64_t victim = *truth.begin();
+            cbf.remove(victim);
+            truth.erase(victim);
+        }
+        for (std::uint64_t k : truth)
+            ASSERT_TRUE(cbf.test(k)) << "false negative for " << k;
+    }
+    EXPECT_GT(cbf.saturations(), 0u) << "churn never saturated: weak test";
+}
+
 /** Property harness: churn a CBF against ground truth; false negatives
  *  must be zero and the false-positive rate bounded. */
 struct CbfSweepParams

@@ -312,6 +312,48 @@ TEST(ProfSimulator, MshrProfileMatchesMshrStats)
     (void)m;
 }
 
+/**
+ * Presence-filter site identities: the consult-elision gates (cache/
+ * presence.hh) partition gated lookups into definite-miss skips plus
+ * actual structure consults, and the filters are maintained in exact
+ * lockstep with the structures they summarise.
+ */
+TEST(ProfSimulator, PresenceFilterSitesConsistent)
+{
+    SimConfig config = SimConfig::fermi();
+    config.gpu.instructionBudgetPerSm = 20000;
+    Simulator sim(config);
+    const prof::ProfileReport before = prof::snapshot();
+    const Metrics m = sim.run("ATAX", L1DKind::L1Sram);
+    const prof::ProfileReport p = prof::snapshot().diffSince(before);
+
+    // MSHR gate: map consults = probes - filter_skips; maintenance
+    // mirrors the entry file (allocate inserts; retire paths remove).
+    EXPECT_GT(p.count("mshr", "probes"), 0u);
+    EXPECT_GT(p.count("mshr", "filter_skips"), 0u);
+    EXPECT_LE(p.count("mshr", "filter_skips"), p.count("mshr", "probes"));
+    EXPECT_EQ(p.count("mshr", "filter_inserts"),
+              p.count("mshr", "allocations"));
+    EXPECT_LE(p.count("mshr", "filter_removes"),
+              p.count("mshr", "filter_inserts"));
+    EXPECT_GE(p.count("mshr", "filter_removes"),
+              p.count("mshr", "retirements"));
+
+    // SRAM-bank gate: the pure-SRAM organisation has only filtered
+    // banks, so its gated demand lookups partition exactly into skips
+    // plus actual tag consults (the demand_resolutions term of the
+    // tag_array/lookups identity above).
+    EXPECT_GT(p.count("l1d_sram", "lookups"), 0u);
+    EXPECT_GT(p.count("l1d_sram", "filter_skips"), 0u);
+    EXPECT_EQ(p.count("l1d_sram", "lookups"),
+              p.count("l1d_sram", "filter_skips")
+                  + p.count("l1d_bank", "demand_resolutions"));
+    EXPECT_GT(p.count("l1d_sram", "filter_inserts"), 0u);
+    EXPECT_LE(p.count("l1d_sram", "filter_removes"),
+              p.count("l1d_sram", "filter_inserts"));
+    (void)m;
+}
+
 #else // !FUSE_PROF_ENABLED
 
 // ---- OFF build: the macros must be true no-ops. ---------------------

@@ -113,26 +113,39 @@ def self_test():
         "workload/instructions": 100,
         "workload/batch_generate": 25,
         "l1d/access": 40,
+        "mshr/filter_skips": 30,
     }}}
     checks = [
         # (label, fresh sites, expected number of warnings)
         ("exact match is silent",
          [("workload", "instructions", 100),
-          ("workload", "batch_generate", 25), ("l1d", "access", 40)], 0),
+          ("workload", "batch_generate", 25), ("l1d", "access", 40),
+          ("mshr", "filter_skips", 30)], 0),
         ("count drift warns",
          [("workload", "instructions", 101),
-          ("workload", "batch_generate", 25), ("l1d", "access", 40)], 1),
+          ("workload", "batch_generate", 25), ("l1d", "access", 40),
+          ("mshr", "filter_skips", 30)], 1),
         ("tracked site missing from fresh run warns",
          [("workload", "instructions", 100),
-          ("workload", "batch_generate", 25)], 1),
+          ("workload", "batch_generate", 25),
+          ("mshr", "filter_skips", 30)], 1),
         ("fresh site of tracked component missing from baseline warns",
          [("workload", "instructions", 100),
           ("workload", "batch_generate", 25), ("l1d", "access", 40),
+          ("mshr", "filter_skips", 30),
           ("workload", "prefetch_refill", 7)], 1),
         ("fresh site of untracked component is informational",
          [("workload", "instructions", 100),
           ("workload", "batch_generate", 25), ("l1d", "access", 40),
+          ("mshr", "filter_skips", 30),
           ("noc", "hop", 9)], 0),
+        # Presence-filter elision rates are tracked counts like any
+        # other: a changed skip count means the gate's behaviour changed
+        # and must be recommitted, never silent.
+        ("filter-gate skip-count drift warns",
+         [("workload", "instructions", 100),
+          ("workload", "batch_generate", 25), ("l1d", "access", 40),
+          ("mshr", "filter_skips", 29)], 1),
         ("disabled profile is a no-op",
          None, 0),
     ]

@@ -252,14 +252,65 @@ main(int argc, char **argv)
                          "l1d_bank", "fill_resolutions")) / 1e6,
                      static_cast<double>(prof_report.count(
                          "l2", "bank_accesses")) / 1e6);
-        for (const auto &s : prof_report.sites) {
+        // Heaviest first: exclusive wall time, then event count, then
+        // name as the deterministic tiebreak (counter-only sites have no
+        // timed scopes and sort below every timed one).
+        std::vector<const fuse::prof::SiteSample *> ordered;
+        ordered.reserve(prof_report.sites.size());
+        for (const auto &s : prof_report.sites)
+            ordered.push_back(&s);
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const fuse::prof::SiteSample *a,
+                     const fuse::prof::SiteSample *b) {
+                      if (a->exclusiveNs != b->exclusiveNs)
+                          return a->exclusiveNs > b->exclusiveNs;
+                      if (a->count != b->count)
+                          return a->count > b->count;
+                      if (a->component != b->component)
+                          return a->component < b->component;
+                      return a->name < b->name;
+                  });
+        for (const auto *s : ordered) {
             std::fprintf(stderr, "profile: %-24s %12llu",
-                         (s.component + "/" + s.name).c_str(),
-                         static_cast<unsigned long long>(s.count));
-            if (s.timedScopes)
+                         (s->component + "/" + s->name).c_str(),
+                         static_cast<unsigned long long>(s->count));
+            if (s->timedScopes)
                 std::fprintf(stderr, "  %10.1f ms excl",
-                             static_cast<double>(s.exclusiveNs) / 1e6);
+                             static_cast<double>(s->exclusiveNs) / 1e6);
             std::fprintf(stderr, "\n");
+        }
+        // Elision rate of each presence-filter-gated consult site:
+        // skipped = answered "definitely absent" without touching the
+        // gated structure; the remainder are actual consults.
+        const struct
+        {
+            const char *label;
+            const char *component;
+            const char *total;
+            const char *skips;
+            const char *consulted;
+        } gates[] = {
+            {"mshr entry file", "mshr", "probes", "filter_skips",
+             "map consults"},
+            {"sram tag array", "l1d_sram", "lookups", "filter_skips",
+             "tag consults"},
+        };
+        for (const auto &g : gates) {
+            const std::uint64_t total =
+                prof_report.count(g.component, g.total);
+            if (!total)
+                continue;
+            const std::uint64_t skips =
+                prof_report.count(g.component, g.skips);
+            std::fprintf(stderr,
+                         "profile: filter %-17s %.1fM gated, %.1fM skipped "
+                         "(%.1f%%), %.1fM %s\n",
+                         g.label, static_cast<double>(total) / 1e6,
+                         static_cast<double>(skips) / 1e6,
+                         100.0 * static_cast<double>(skips) /
+                             static_cast<double>(total),
+                         static_cast<double>(total - skips) / 1e6,
+                         g.consulted);
         }
     }
 
