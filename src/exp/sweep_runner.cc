@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/log.hh"
 #include "prof/prof.hh"
 #include "sim/simulator.hh"
@@ -67,20 +67,7 @@ defaultThreadCount()
 unsigned
 parseThreadCount(const char *flag, const char *value)
 {
-    if (!value || *value == '\0')
-        fuse_fatal("%s expects a positive integer", flag);
-    for (const char *p = value; *p; ++p) {
-        if (*p < '0' || *p > '9')
-            fuse_fatal("%s expects a positive integer, got '%s'", flag,
-                       value);
-    }
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long n = std::strtoul(value, &end, 10);
-    if (errno != 0 || end == value || *end != '\0' || n == 0 || n > 4096)
-        fuse_fatal("%s expects an integer in [1, 4096], got '%s'", flag,
-                   value);
-    return static_cast<unsigned>(n);
+    return parseCount(flag, value, 1, 4096);
 }
 
 SweepRunner::SweepRunner(unsigned threads)

@@ -33,10 +33,10 @@ unsigned defaultThreadCount();
 
 /**
  * Strict CLI thread-count parsing shared by fuse_bench / fuse_sweep /
- * the figure binaries: the whole string must be a decimal integer in
- * [1, 4096]. Zero, negatives, and garbage are user errors — fatal with
- * a message naming @p flag instead of silently clamping (strtoul alone
- * happily wraps "-1" into a huge count).
+ * the figure binaries: parseCount (common/cli.hh) at the historical
+ * [1, 4096] bounds. Kept as a named forwarder so thread-flag call
+ * sites state their intent; new non-thread count flags should call
+ * parseCount directly.
  */
 unsigned parseThreadCount(const char *flag, const char *value);
 

@@ -1,0 +1,129 @@
+#include "serve/work_queue.hh"
+
+#include <exception>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace fuse
+{
+
+WorkQueue::WorkQueue(unsigned workers, std::size_t capacity,
+                     unsigned max_attempts)
+    : capacity_(capacity), maxAttempts_(max_attempts)
+{
+    if (workers == 0 || capacity == 0 || max_attempts == 0)
+        fuse_fatal("WorkQueue wants workers/capacity/attempts >= 1 "
+                   "(got %u/%zu/%u)", workers, capacity, max_attempts);
+    workers_.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+WorkQueue::~WorkQueue()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+WorkQueue::submit(std::string label, std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // The bound applies to producers only: a retry re-enqueued by a
+        // worker skips it (see workerLoop), otherwise a full queue of
+        // flaky tasks could deadlock the workers against themselves.
+        spaceReady_.wait(lock,
+                         [this]() { return queue_.size() < capacity_; });
+        queue_.push_back(Task{std::move(label), std::move(task), 0});
+        ++pending_;
+    }
+    workReady_.notify_one();
+}
+
+void
+WorkQueue::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this]() { return pending_ == 0; });
+}
+
+std::uint64_t
+WorkQueue::retries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retries_;
+}
+
+std::vector<WorkQueue::Failure>
+WorkQueue::failures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failures_;
+}
+
+void
+WorkQueue::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this]() {
+                return stop_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;   // stop_ set and nothing left to run.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        spaceReady_.notify_one();
+
+        ++task.attempts;
+        std::string error;
+        bool ok = true;
+        try {
+            task.fn();
+        } catch (const std::exception &e) {
+            ok = false;
+            error = e.what();
+        } catch (...) {
+            ok = false;
+            error = "unknown exception";
+        }
+
+        bool finished = ok;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!ok) {
+                if (task.attempts < maxAttempts_) {
+                    // Unbounded re-enqueue: the task already holds a
+                    // pending_ slot, and blocking a worker on capacity
+                    // here could deadlock the pool.
+                    ++retries_;
+                    queue_.push_back(std::move(task));
+                } else {
+                    failures_.push_back(
+                        Failure{task.label, task.attempts,
+                                std::move(error)});
+                    finished = true;
+                }
+            }
+            if (finished)
+                --pending_;
+        }
+        if (finished)
+            idle_.notify_all();
+        else
+            workReady_.notify_one();
+    }
+}
+
+} // namespace fuse

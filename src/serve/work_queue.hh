@@ -1,0 +1,99 @@
+/**
+ * @file
+ * WorkQueue: the bounded, retrying task pool behind the campaign
+ * service. Producers submit labelled tasks and block while the queue is
+ * at capacity (backpressure — a huge campaign can't balloon memory);
+ * N workers run them, re-enqueueing a task that throws until its
+ * attempt budget is spent, after which it lands in the failure ledger
+ * with its label, attempt count and last error. drain() waits for every
+ * submitted task to reach success or the ledger.
+ */
+
+#ifndef FUSE_SERVE_WORK_QUEUE_HH
+#define FUSE_SERVE_WORK_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fuse
+{
+
+class WorkQueue
+{
+  public:
+    /** A task that exhausted its attempts. */
+    struct Failure
+    {
+        std::string label;
+        unsigned attempts = 0;
+        std::string error;   ///< what() of the last exception.
+    };
+
+    /**
+     * @param workers       worker threads (>= 1).
+     * @param capacity      max queued-not-running tasks before submit()
+     *                      blocks (>= 1).
+     * @param max_attempts  runs per task before it is declared failed
+     *                      (>= 1; 1 = no retry).
+     */
+    WorkQueue(unsigned workers, std::size_t capacity,
+              unsigned max_attempts);
+
+    /** Drains, then stops and joins the workers. */
+    ~WorkQueue();
+
+    WorkQueue(const WorkQueue &) = delete;
+    WorkQueue &operator=(const WorkQueue &) = delete;
+
+    /**
+     * Enqueue @p task; blocks while the queue is full. @p label names
+     * the task in the failure ledger. Tasks signal failure by throwing
+     * (anything derived from std::exception).
+     */
+    void submit(std::string label, std::function<void()> task);
+
+    /** Block until every submitted task has succeeded or failed. */
+    void drain();
+
+    /** Total retry runs so far (attempts beyond each task's first). */
+    std::uint64_t retries() const;
+
+    /** Snapshot of the failure ledger. */
+    std::vector<Failure> failures() const;
+
+  private:
+    struct Task
+    {
+        std::string label;
+        std::function<void()> fn;
+        unsigned attempts = 0;
+    };
+
+    void workerLoop();
+
+    const std::size_t capacity_;
+    const unsigned maxAttempts_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workReady_;   ///< queue gained a task / stop.
+    std::condition_variable spaceReady_;  ///< queue dropped below capacity.
+    std::condition_variable idle_;        ///< pending_ hit zero.
+    std::deque<Task> queue_;
+    std::size_t pending_ = 0;   ///< submitted, not yet succeeded/failed.
+    std::uint64_t retries_ = 0;
+    std::vector<Failure> failures_;
+    bool stop_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace fuse
+
+#endif // FUSE_SERVE_WORK_QUEUE_HH
